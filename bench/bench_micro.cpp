@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) of the substrate hot paths: the lazy
+// percolation sampler, union-find, BFS primitives and router inner loops.
+// These are engineering baselines, not experiment reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/probe_context.hpp"
+#include "core/routers/flood_router.hpp"
+#include "core/routers/landmark_router.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/mesh.hpp"
+#include "percolation/cluster_analysis.hpp"
+#include "percolation/edge_sampler.hpp"
+#include "percolation/galton_watson.hpp"
+#include "percolation/union_find.hpp"
+#include "random/rng.hpp"
+
+namespace {
+
+using namespace faultroute;
+
+void BM_HashSamplerProbe(benchmark::State& state) {
+  const HashEdgeSampler sampler(0.5, 42);
+  EdgeKey key = 0;
+  std::uint64_t opens = 0;
+  for (auto _ : state) {
+    opens += sampler.is_open(key++) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(opens);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashSamplerProbe);
+
+void BM_Mix64(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = mix64(x);
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_Mix64);
+
+void BM_XoshiroDraw(benchmark::State& state) {
+  Rng rng(7);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng();
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_XoshiroDraw);
+
+void BM_UnionFind(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    UnionFind dsu(n);
+    for (std::uint64_t i = 0; i + 1 < n; ++i) {
+      dsu.unite(uniform_below(rng, n), uniform_below(rng, n));
+    }
+    benchmark::DoNotOptimize(dsu.num_components());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UnionFind)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ClusterAnalysisMesh(benchmark::State& state) {
+  const Mesh mesh(2, state.range(0));
+  const HashEdgeSampler sampler(0.6, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_components(mesh, sampler).largest);
+  }
+}
+BENCHMARK(BM_ClusterAnalysisMesh)->Arg(32)->Arg(128);
+
+void BM_OpenClusterBfsHypercube(benchmark::State& state) {
+  const Hypercube cube(static_cast<int>(state.range(0)));
+  const HashEdgeSampler sampler(2.0 / static_cast<double>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(open_cluster_of(cube, sampler, 0).size());
+  }
+}
+BENCHMARK(BM_OpenClusterBfsHypercube)->Arg(12)->Arg(16);
+
+void BM_FloodRouteMesh(benchmark::State& state) {
+  const Mesh mesh(2, 32);
+  const HashEdgeSampler sampler(0.7, 9);
+  FloodRouter router;
+  for (auto _ : state) {
+    ProbeContext ctx(mesh, sampler, 0, RoutingMode::kLocal);
+    benchmark::DoNotOptimize(router.route(ctx, 0, mesh.num_vertices() - 1));
+  }
+}
+BENCHMARK(BM_FloodRouteMesh);
+
+void BM_LandmarkRouteMesh(benchmark::State& state) {
+  const Mesh mesh(2, 32);
+  const HashEdgeSampler sampler(0.7, 9);
+  LandmarkRouter router;
+  for (auto _ : state) {
+    ProbeContext ctx(mesh, sampler, 0, RoutingMode::kLocal);
+    benchmark::DoNotOptimize(router.route(ctx, 0, mesh.num_vertices() - 1));
+  }
+}
+BENCHMARK(BM_LandmarkRouteMesh);
+
+void BM_GaltonWatsonProgeny(benchmark::State& state) {
+  const BinaryGaltonWatson gw(0.45);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gw.simulate_total_progeny(rng, 1 << 16));
+  }
+}
+BENCHMARK(BM_GaltonWatsonProgeny);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// P2P overlay scenario — the paper's introduction motivates its hypercube
+// result with structured peer-to-peer networks (Chord, skip graphs, ...):
+// when many links fail, *routing-based exact search* breaks long before
+// connectivity does, while flooding keeps working.
+//
+// This example simulates a hypercube-like overlay of 2^14 peers under
+// increasing link-failure rates and compares three lookup strategies:
+//   greedy    — classic DHT-style prefix routing (fails when stuck),
+//   landmark  — the paper's repaired local router (Theorem 3(ii)),
+//   flood     — gossip/flooding (always works, pays a fortune).
+//
+//   $ ./p2p_overlay [trials]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+#include "core/probe_context.hpp"
+#include "core/routers/flood_router.hpp"
+#include "core/routers/greedy_router.hpp"
+#include "core/routers/landmark_router.hpp"
+#include "graph/hypercube.hpp"
+#include "percolation/cluster_analysis.hpp"
+#include "percolation/edge_sampler.hpp"
+#include "random/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace faultroute;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  const int n = 14;
+  const Hypercube overlay(n);
+  std::cout << "P2P overlay: " << overlay.num_vertices() << " peers, degree " << n
+            << " (hypercube topology, as in Chord-style DHTs)\n";
+
+  // Link failure rates from "healthy" to "half the trouble zone": the
+  // routing threshold of Theorem 3 is p = n^{-1/2} ~ 0.27 survival, i.e.
+  // ~73% failure. Watch exact search degrade long before connectivity does.
+  const std::vector<double> failure_rates = {0.10, 0.30, 0.50, 0.60, 0.70, 0.80};
+
+  Table table({"link_failure", "connected", "greedy_ok", "greedy_probes",
+               "landmark_ok", "landmark_probes", "flood_probes"});
+  for (const double q : failure_rates) {
+    const double p = 1.0 - q;
+    int connected_pairs = 0;
+    int greedy_ok = 0;
+    int landmark_ok = 0;
+    Summary greedy_probes;
+    Summary landmark_probes;
+    Summary flood_probes;
+
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t seed = derive_seed(2005, static_cast<std::uint64_t>(q * 100) * 1000 +
+                                                       static_cast<std::uint64_t>(t));
+      const HashEdgeSampler env(p, seed);
+      Rng rng(seed);
+      const VertexId requester = uniform_below(rng, overlay.num_vertices());
+      const VertexId resource = uniform_below(rng, overlay.num_vertices());
+      if (requester == resource) continue;
+      if (!*open_connected(overlay, env, requester, resource)) continue;
+      ++connected_pairs;
+
+      GreedyDescentRouter greedy;
+      ProbeContext gctx(overlay, env, requester, RoutingMode::kLocal);
+      if (greedy.route(gctx, requester, resource)) {
+        ++greedy_ok;
+        greedy_probes.add(static_cast<double>(gctx.distinct_probes()));
+      }
+
+      LandmarkRouter landmark;
+      ProbeContext lctx(overlay, env, requester, RoutingMode::kLocal);
+      if (landmark.route(lctx, requester, resource)) {
+        ++landmark_ok;
+        landmark_probes.add(static_cast<double>(lctx.distinct_probes()));
+      }
+
+      FloodRouter flood;
+      ProbeContext fctx(overlay, env, requester, RoutingMode::kLocal);
+      flood.route(fctx, requester, resource);
+      flood_probes.add(static_cast<double>(fctx.distinct_probes()));
+    }
+
+    const auto rate = [&](int ok) {
+      return connected_pairs > 0 ? static_cast<double>(ok) / connected_pairs : 0.0;
+    };
+    const auto mean_or_dash = [](const Summary& s) {
+      return s.count() > 0 ? Table::fmt(s.mean(), 0) : std::string("-");
+    };
+    table.add_row({Table::fmt(q, 2), Table::fmt(connected_pairs), Table::fmt(rate(greedy_ok), 2),
+                   mean_or_dash(greedy_probes), Table::fmt(rate(landmark_ok), 2),
+                   mean_or_dash(landmark_probes), mean_or_dash(flood_probes)});
+  }
+  table.print(
+      "DHT lookups under link failures (connected pairs only): greedy exact-search "
+      "dies first, the landmark router survives at a price, flooding always works "
+      "but probes a large fraction of the overlay");
+  std::cout << "\nTakeaway (paper, Section 1.3): past the routing threshold, "
+               "flooding/gossip stays the only efficient *reliable* search even "
+               "though short paths still exist.\n";
+  return 0;
+}

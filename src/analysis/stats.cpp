@@ -1,0 +1,126 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace faultroute {
+
+void Summary::add(double x) {
+  values_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  if (values_.empty()) throw std::logic_error("Summary::mean: empty sample");
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Summary::variance() const {
+  const auto n = static_cast<double>(values_.size());
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  // Two-pass style correction from the accumulated moments.
+  const double var = (sum_sq_ - n * m * m) / (n - 1.0);
+  return var > 0.0 ? var : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::sem() const {
+  if (values_.empty()) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(values_.size()));
+}
+
+double Summary::min() const {
+  if (values_.empty()) throw std::logic_error("Summary::min: empty sample");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  if (values_.empty()) throw std::logic_error("Summary::max: empty sample");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::quantile(double q) const {
+  if (values_.empty()) throw std::logic_error("Summary::quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Summary::quantile: q outside [0,1]");
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::min(q * static_cast<double>(sorted_.size()),
+               static_cast<double>(sorted_.size() - 1)));
+  return sorted_[rank];
+}
+
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("linear_fit: size mismatch");
+  if (xs.size() < 2) throw std::invalid_argument("linear_fit: need >= 2 points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double det = n * sxx - sx * sx;
+  if (det == 0.0) throw std::invalid_argument("linear_fit: constant x");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / det;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+namespace {
+
+std::vector<double> logged(const std::vector<double>& values, const char* what) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    if (v <= 0.0) throw std::invalid_argument(std::string(what) + ": non-positive value");
+    out.push_back(std::log(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearFit log_log_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  return linear_fit(logged(xs, "log_log_fit(x)"), logged(ys, "log_log_fit(y)"));
+}
+
+LinearFit semilog_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  return linear_fit(xs, logged(ys, "semilog_fit(y)"));
+}
+
+}  // namespace faultroute

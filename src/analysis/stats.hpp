@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace faultroute {
+
+/// Accumulates a sample and reports summary statistics. Stores the values
+/// (samples here are at most a few thousand points), so exact quantiles are
+/// available.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact sample quantile (nearest-rank); q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  std::vector<double> values_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  mutable std::vector<double> sorted_;  // cache, invalidated on add
+  mutable bool sorted_valid_ = false;
+};
+
+/// Wilson score interval for a binomial proportion (k successes in n
+/// trials) at confidence z (1.96 ~ 95%).
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+  [[nodiscard]] bool contains(double x) const { return low <= x && x <= high; }
+};
+
+[[nodiscard]] Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                                       double z = 1.96);
+
+/// Ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Requires xs.size() == ys.size() >= 2 and non-constant xs.
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+/// Fits log(y) = slope * log(x) + c, i.e. the power-law exponent of y ~ x^slope.
+/// Points with non-positive x or y are rejected (throws).
+[[nodiscard]] LinearFit log_log_fit(const std::vector<double>& xs,
+                                    const std::vector<double>& ys);
+
+/// Fits log(y) = slope * x + c, i.e. the rate of exponential growth y ~ e^{slope x}.
+[[nodiscard]] LinearFit semilog_fit(const std::vector<double>& xs,
+                                    const std::vector<double>& ys);
+
+}  // namespace faultroute

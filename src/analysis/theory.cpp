@@ -1,0 +1,70 @@
+#include "analysis/theory.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace faultroute::theory {
+
+double lemma5_bound(double t, double eta, double pr_uv_in_s, double pr_uv) {
+  if (pr_uv <= 0.0) throw std::invalid_argument("lemma5_bound: Pr[u~v] must be > 0");
+  const double bound = (t * eta + pr_uv_in_s) / pr_uv;
+  if (bound < 0.0) return 0.0;
+  return bound > 1.0 ? 1.0 : bound;
+}
+
+double hypercube_eta_leading(double p, int l) {
+  return std::tgamma(static_cast<double>(l) + 1.0) * std::pow(p, l);
+}
+
+double hypercube_eta_bound(int n, double p, int l) {
+  const double ratio = static_cast<double>(n) * l * l * p * p;
+  if (ratio >= 1.0) return std::numeric_limits<double>::infinity();
+  return hypercube_eta_leading(p, l) / (1.0 - ratio);
+}
+
+double hypercube_routing_threshold(int n) {
+  return 1.0 / std::sqrt(static_cast<double>(n));
+}
+
+double hypercube_giant_threshold(int n) { return 1.0 / static_cast<double>(n); }
+
+double mesh_critical_probability(int d) {
+  switch (d) {
+    case 2:
+      return 0.5;  // exact (Kesten 1980)
+    case 3:
+      return 0.2488;
+    case 4:
+      return 0.1601;
+    case 5:
+      return 0.1182;
+    case 6:
+      return 0.0942;
+    default:
+      throw std::invalid_argument("mesh_critical_probability: d must be in [2, 6]");
+  }
+}
+
+double double_tree_threshold() { return 1.0 / std::sqrt(2.0); }
+
+double double_tree_local_lower_bound(double p, int n) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("double_tree_local_lower_bound: p in (0, 1]");
+  }
+  return std::pow(p, -n);
+}
+
+double gnp_giant_fraction(double c) {
+  if (c <= 1.0) return 0.0;
+  // Fixed point of beta = 1 - exp(-c beta), via monotone iteration from 1.
+  double beta = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double next = 1.0 - std::exp(-c * beta);
+    if (std::abs(next - beta) < 1e-14) return next;
+    beta = next;
+  }
+  return beta;
+}
+
+}  // namespace faultroute::theory

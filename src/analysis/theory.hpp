@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+namespace faultroute::theory {
+
+/// Closed-form quantities from the paper and its cited literature, used by
+/// benches and tests as "paper" reference columns.
+
+/// Lemma 5: Pr[X < t] <= (t * eta + pr_uv_in_s) / pr_uv. Returns that bound
+/// clamped to [0, 1].
+[[nodiscard]] double lemma5_bound(double t, double eta, double pr_uv_in_s, double pr_uv);
+
+/// Theorem 3(i) machinery: the path-counting bound on
+/// eta = Pr[(v ~ x) in B_l(v)] for a boundary vertex x at distance l in
+/// H_{n,p}:  eta <= l! p^l / (1 - n l^2 p^2). Returns +inf when the geometric
+/// series diverges (n l^2 p^2 >= 1 — possible at finite n even for
+/// alpha > 1/2).
+[[nodiscard]] double hypercube_eta_bound(int n, double p, int l);
+
+/// The leading term l! p^l of the same bound (informative even when the full
+/// series has not kicked in at laptop-scale n).
+[[nodiscard]] double hypercube_eta_leading(double p, int l);
+
+/// The hypercube routing-phase-transition point p = n^{-1/2} (Theorem 3).
+[[nodiscard]] double hypercube_routing_threshold(int n);
+
+/// The hypercube giant-component threshold p ~ 1/n (Ajtai-Komlos-Szemeredi).
+[[nodiscard]] double hypercube_giant_threshold(int n);
+
+/// The hypercube connectivity threshold p = 1/2 (Erdos-Spencer).
+[[nodiscard]] constexpr double hypercube_connectivity_threshold() { return 0.5; }
+
+/// Mesh bond-percolation thresholds: exact 1/2 for d = 2 (Kesten), the
+/// standard numerical values for d = 3..6 (Grimmett's book / simulation
+/// literature: 0.2488, 0.1601, 0.1182, 0.0942). Throws for d outside [2, 6].
+[[nodiscard]] double mesh_critical_probability(int d);
+
+/// The double-tree connectivity threshold 1/sqrt(2) (Lemma 6).
+[[nodiscard]] double double_tree_threshold();
+
+/// Theorem 7: the local routing lower bound ~ a * p^{-n} for TT_n.
+[[nodiscard]] double double_tree_local_lower_bound(double p, int n);
+
+/// G_{n,p} giant-component survival: for p = c/n with c > 1 the giant
+/// component holds a beta(c) fraction of vertices where beta solves
+/// beta = 1 - e^{-c beta}. Returns 0 for c <= 1.
+[[nodiscard]] double gnp_giant_fraction(double c);
+
+/// Theorem 10 / 11 reference exponents for G_{n,c/n} routing complexity.
+[[nodiscard]] constexpr double gnp_local_exponent() { return 2.0; }
+[[nodiscard]] constexpr double gnp_oracle_exponent() { return 1.5; }
+
+}  // namespace faultroute::theory

@@ -1,0 +1,47 @@
+#include "core/path.hpp"
+
+#include <unordered_map>
+
+namespace faultroute {
+
+bool is_valid_open_path(const Topology& graph, const EdgeSampler& sampler,
+                        const Path& path, VertexId from, VertexId to) {
+  if (path.empty()) return false;
+  if (path.front() != from || path.back() != to) return false;
+  for (std::size_t step = 0; step + 1 < path.size(); ++step) {
+    const VertexId a = path[step];
+    const VertexId b = path[step + 1];
+    // Accept the edge if *any* parallel copy of {a, b} is open.
+    const int deg = graph.degree(a);
+    bool ok = false;
+    for (int i = 0; i < deg && !ok; ++i) {
+      if (graph.neighbor(a, i) == b && sampler.is_open(graph.edge_key(a, i))) ok = true;
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Path simplify_walk(const Path& walk) {
+  Path out;
+  std::unordered_map<VertexId, std::size_t> position;  // vertex -> index in out
+  out.reserve(walk.size());
+  for (const VertexId v : walk) {
+    const auto it = position.find(v);
+    if (it != position.end()) {
+      // Cut the loop: drop everything after the first occurrence of v.
+      for (std::size_t i = it->second + 1; i < out.size(); ++i) position.erase(out[i]);
+      out.resize(it->second + 1);
+    } else {
+      position.emplace(v, out.size());
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::size_t path_length(const Path& path) {
+  return path.empty() ? 0 : path.size() - 1;
+}
+
+}  // namespace faultroute

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/router.hpp"
+#include "graph/topology.hpp"
+#include "percolation/edge_sampler.hpp"
+
+namespace faultroute {
+
+/// Batch / permutation routing: the "full blown routing scheme" the paper
+/// distinguishes from its single-pair complexity measure (Section 1.1), and
+/// the setting of the emulation literature it cites (Hastad et al., Cole et
+/// al.): route one message per source under a permutation and look at the
+/// *congestion* the chosen paths induce, not just their existence.
+struct PermutationRoutingResult {
+  std::uint64_t pairs = 0;             // pairs attempted (connected ones)
+  std::uint64_t routed = 0;            // pairs successfully routed
+  std::uint64_t failed = 0;            // connected pairs the router missed
+  std::uint64_t skipped_disconnected = 0;
+  std::uint64_t total_probes = 0;      // distinct probes summed over pairs
+  std::uint64_t total_path_edges = 0;
+  std::uint64_t max_edge_load = 0;     // congestion: max #paths over one edge
+  double mean_edge_load = 0.0;         // over edges used at least once
+
+  [[nodiscard]] double mean_probes() const {
+    return pairs == 0 ? 0.0 : static_cast<double>(total_probes) / static_cast<double>(pairs);
+  }
+  [[nodiscard]] double mean_path_length() const {
+    return routed == 0 ? 0.0
+                       : static_cast<double>(total_path_edges) / static_cast<double>(routed);
+  }
+};
+
+struct PermutationRoutingConfig {
+  /// Number of (source, target) pairs to draw.
+  std::uint64_t pairs = 64;
+  /// Seed for drawing the pairs (the environment has its own seed).
+  std::uint64_t pair_seed = 1;
+  /// Skip pairs that are disconnected in the environment (checked by BFS
+  /// ground truth with this visit cap; 0 = unbounded).
+  std::uint64_t connectivity_cap = 0;
+  /// Probe budget per pair (nullopt = unbounded); exceeding counts as failed.
+  std::optional<std::uint64_t> probe_budget;
+};
+
+/// Routes `config.pairs` random source/target pairs through one shared
+/// percolation environment with a fresh router instance per pair (provided
+/// by `make_router`), and aggregates probe cost and path congestion.
+[[nodiscard]] PermutationRoutingResult route_permutation(
+    const Topology& graph, const EdgeSampler& sampler,
+    const std::function<std::unique_ptr<Router>()>& make_router,
+    const PermutationRoutingConfig& config);
+
+}  // namespace faultroute

@@ -1,0 +1,57 @@
+#include "core/probe_context.hpp"
+
+namespace faultroute {
+
+ProbeContext::ProbeContext(const Topology& graph, const EdgeSampler& sampler,
+                           VertexId source, RoutingMode mode,
+                           std::optional<std::uint64_t> budget)
+    : graph_(graph), sampler_(sampler), source_(source), mode_(mode), budget_(budget) {
+  if (mode_ == RoutingMode::kLocal) reached_.insert(source_);
+}
+
+bool ProbeContext::is_reached(VertexId v) const {
+  if (mode_ == RoutingMode::kOracle) return true;  // no restriction to track
+  return reached_.contains(v);
+}
+
+std::optional<std::uint64_t> ProbeContext::remaining_budget() const {
+  if (!budget_) return std::nullopt;
+  const std::uint64_t used = distinct_probes();
+  return *budget_ > used ? *budget_ - used : 0;
+}
+
+bool ProbeContext::probe(VertexId v, int i) {
+  const VertexId w = graph_.neighbor(v, i);
+  if (mode_ == RoutingMode::kLocal && !reached_.contains(v) && !reached_.contains(w)) {
+    throw LocalityViolation("local probe of edge not incident to the reached set");
+  }
+  ++total_probes_;
+  const EdgeKey key = graph_.edge_key(v, i);
+  bool open;
+  const auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    open = it->second;
+  } else {
+    if (budget_ && memo_.size() >= *budget_) {
+      throw ProbeBudgetExceeded("probe budget exhausted");
+    }
+    open = sampler_.is_open(key);
+    memo_.emplace(key, open);
+  }
+  if (open && mode_ == RoutingMode::kLocal) {
+    // An open edge incident to the reached set extends it.
+    const bool v_reached = reached_.contains(v);
+    const bool w_reached = reached_.contains(w);
+    if (v_reached && !w_reached) reached_.insert(w);
+    if (w_reached && !v_reached) reached_.insert(v);
+  }
+  return open;
+}
+
+bool ProbeContext::probe_between(VertexId a, VertexId b) {
+  const int i = edge_index_of(graph_, a, b);
+  if (i < 0) throw std::invalid_argument("probe_between: vertices are not adjacent");
+  return probe(a, i);
+}
+
+}  // namespace faultroute

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/topology.hpp"
+#include "percolation/edge_sampler.hpp"
+
+namespace faultroute {
+
+/// Whether the router is restricted to local probes (Definition 1 of the
+/// paper) or may query arbitrary edges (oracle routing, Section 5).
+enum class RoutingMode { kLocal, kOracle };
+
+/// Thrown when a local router probes an edge not incident to its
+/// reached-from-source set. The paper's Definition 1: "the first edge it
+/// probes is adjacent to u and subsequently it probes only edges to (an end
+/// point of) which it has already established a path from u".
+class LocalityViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a probe budget is exhausted. Experiments in exponential
+/// regimes use budgets and report the censored fraction.
+class ProbeBudgetExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The probing interface a routing algorithm sees, and the referee that
+/// scores it.
+///
+/// A ProbeContext wraps a topology and a percolation environment. Routers
+/// call `probe(v, i)` to ask "is the i-th edge of v open?". The context
+///  * memoises answers (the world is fixed; re-probing is free of charge in
+///    the *distinct* count but still increments the *total* count),
+///  * enforces locality in kLocal mode by tracking the set of vertices the
+///    router has connected to the source via open probed edges,
+///  * enforces an optional probe budget (distinct edges),
+///  * reports the complexity statistics that the paper's Definition 2 counts.
+class ProbeContext {
+ public:
+  /// `budget`: maximum number of distinct edges that may be probed
+  /// (nullopt = unbounded).
+  ProbeContext(const Topology& graph, const EdgeSampler& sampler, VertexId source,
+               RoutingMode mode, std::optional<std::uint64_t> budget = std::nullopt);
+
+  ProbeContext(const ProbeContext&) = delete;
+  ProbeContext& operator=(const ProbeContext&) = delete;
+
+  /// Probes the i-th incident edge of v. Returns true iff open.
+  /// Throws LocalityViolation (kLocal mode, edge not incident to the reached
+  /// set) or ProbeBudgetExceeded.
+  bool probe(VertexId v, int i);
+
+  /// Convenience: probes the edge {a, b} (first incident index at a whose
+  /// neighbor is b). Requires adjacency; linear in degree(a) unless the
+  /// caller knows the index.
+  bool probe_between(VertexId a, VertexId b);
+
+  [[nodiscard]] const Topology& graph() const { return graph_; }
+  [[nodiscard]] VertexId source() const { return source_; }
+  [[nodiscard]] RoutingMode mode() const { return mode_; }
+
+  /// Number of distinct edges probed so far — the routing complexity of
+  /// Definition 2.
+  [[nodiscard]] std::uint64_t distinct_probes() const { return memo_.size(); }
+
+  /// Total probe calls, counting repeats.
+  [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
+
+  /// True iff the router has established an open path from the source to v
+  /// through probed edges (always true for the source itself). Only
+  /// maintained in kLocal mode.
+  [[nodiscard]] bool is_reached(VertexId v) const;
+
+  /// Remaining budget (nullopt = unbounded).
+  [[nodiscard]] std::optional<std::uint64_t> remaining_budget() const;
+
+ private:
+  const Topology& graph_;
+  const EdgeSampler& sampler_;
+  VertexId source_;
+  RoutingMode mode_;
+  std::optional<std::uint64_t> budget_;
+  std::uint64_t total_probes_ = 0;
+  std::unordered_map<EdgeKey, bool> memo_;
+  std::unordered_set<VertexId> reached_;  // kLocal only
+};
+
+}  // namespace faultroute

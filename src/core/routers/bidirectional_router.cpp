@@ -1,0 +1,72 @@
+#include "core/routers/bidirectional_router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace faultroute {
+
+namespace {
+
+struct Side {
+  std::unordered_map<VertexId, VertexId> parent;
+  std::queue<VertexId> frontier;
+};
+
+Path chain_to_root(const Side& side, VertexId from) {
+  Path path;
+  for (VertexId x = from;; x = side.parent.at(x)) {
+    path.push_back(x);
+    if (side.parent.at(x) == x) break;
+  }
+  return path;  // from .. root
+}
+
+}  // namespace
+
+std::optional<Path> BidirectionalBfsRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  if (u == v) return Path{u};
+  const Topology& graph = ctx.graph();
+  Side from_u;
+  Side from_v;
+  from_u.parent.emplace(u, u);
+  from_u.frontier.push(u);
+  from_v.parent.emplace(v, v);
+  from_v.frontier.push(v);
+
+  const auto join = [&](VertexId meeting, VertexId via_u_side) {
+    // Path = u .. via_u_side, meeting .. v. `meeting` is already in from_v.
+    Path left = chain_to_root(from_u, via_u_side);
+    std::reverse(left.begin(), left.end());  // u .. via_u_side
+    const Path right = chain_to_root(from_v, meeting);  // meeting .. v
+    left.insert(left.end(), right.begin(), right.end());
+    return simplify_walk(left);
+  };
+
+  while (!from_u.frontier.empty() || !from_v.frontier.empty()) {
+    // Expand the side with the smaller live frontier (ties: u side).
+    const bool expand_u =
+        !from_u.frontier.empty() &&
+        (from_v.frontier.empty() || from_u.frontier.size() <= from_v.frontier.size());
+    Side& mine = expand_u ? from_u : from_v;
+    Side& other = expand_u ? from_v : from_u;
+    const VertexId x = mine.frontier.front();
+    mine.frontier.pop();
+    const int deg = graph.degree(x);
+    for (int i = 0; i < deg; ++i) {
+      const VertexId y = graph.neighbor(x, i);
+      if (mine.parent.contains(y)) continue;
+      if (!ctx.probe(x, i)) continue;
+      if (other.parent.contains(y)) {
+        // The two balls touch along edge (x, y).
+        if (expand_u) return join(y, x);
+        return join(x, y);
+      }
+      mine.parent.emplace(y, x);
+      mine.frontier.push(y);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace faultroute

@@ -1,0 +1,106 @@
+#include "core/routers/double_tree_routers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace faultroute {
+
+namespace {
+
+using Side = DoubleBinaryTree::Side;
+
+/// Checks the (u, v) pair is the root pair, normalising orientation.
+/// Returns true if the caller must reverse the resulting path.
+bool check_roots(const DoubleBinaryTree& tree, VertexId u, VertexId v) {
+  if (u == tree.root1() && v == tree.root2()) return false;
+  if (u == tree.root2() && v == tree.root1()) return true;
+  throw std::invalid_argument("double-tree routers route between the two roots only");
+}
+
+/// The branch of tree `side` from the root down to heap index h, as vertex
+/// ids (root first). h may be a leaf-level heap index.
+Path branch_from_root(const DoubleBinaryTree& tree, std::uint64_t h, Side side) {
+  Path branch;
+  for (std::uint64_t a = h; a >= 1; a >>= 1) branch.push_back(tree.vertex_of_heap(a, side));
+  std::reverse(branch.begin(), branch.end());
+  return branch;
+}
+
+/// Full root1 -> leaf(h) -> root2 path for a doubly-open branch at leaf heap h.
+Path through_path(const DoubleBinaryTree& tree, std::uint64_t leaf_heap) {
+  Path path = branch_from_root(tree, leaf_heap, Side::kTree1);
+  Path up = branch_from_root(tree, leaf_heap, Side::kTree2);  // root2 .. leaf
+  std::reverse(up.begin(), up.end());                         // leaf .. root2
+  path.insert(path.end(), up.begin() + 1, up.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<Path> DoubleTreeLocalRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  const bool reversed = check_roots(tree_, u, v);
+  if (reversed) {
+    // Routing root2 -> root1 is the same algorithm with the trees swapped;
+    // for simplicity route root1 -> root2 obeying locality from root2 is not
+    // supported (the experiments always route x -> y).
+    throw std::invalid_argument("DoubleTreeLocalRouter: route from root1 to root2");
+  }
+  const std::uint64_t leaf_level = tree_.num_leaves();
+
+  // DFS over tree-1 heap indices whose branch from root1 is open.
+  std::vector<std::uint64_t> stack{1};
+  while (!stack.empty()) {
+    const std::uint64_t h = stack.back();
+    stack.pop_back();
+    if (h >= leaf_level) {
+      // Reached a leaf: climb its tree-2 branch towards root2.
+      bool climb_open = true;
+      for (std::uint64_t c = h; c >= 2 && climb_open; c >>= 1) {
+        const VertexId child = tree_.vertex_of_heap(c, Side::kTree2);
+        const VertexId parent = tree_.vertex_of_heap(c >> 1, Side::kTree2);
+        climb_open = ctx.probe_between(child, parent);
+      }
+      if (climb_open) return through_path(tree_, h);
+      continue;
+    }
+    for (std::uint64_t child = 2 * h; child <= 2 * h + 1; ++child) {
+      const VertexId parent_vertex = tree_.vertex_of_heap(h, Side::kTree1);
+      const VertexId child_vertex = tree_.vertex_of_heap(child, Side::kTree1);
+      if (ctx.probe_between(parent_vertex, child_vertex)) stack.push_back(child);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> DoubleTreePairedOracleRouter::route(ProbeContext& ctx, VertexId u,
+                                                        VertexId v) {
+  const bool reversed = check_roots(tree_, u, v);
+  const std::uint64_t leaf_level = tree_.num_leaves();
+
+  std::vector<std::uint64_t> stack{1};
+  while (!stack.empty()) {
+    const std::uint64_t h = stack.back();
+    stack.pop_back();
+    if (h >= leaf_level) {
+      Path path = through_path(tree_, h);
+      if (reversed) std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (std::uint64_t child = 2 * h; child <= 2 * h + 1; ++child) {
+      // Probe the tree-1 edge and, only if open, its tree-2 mirror: the
+      // branch survives iff both do (edge probability p^2 — a binary
+      // Galton-Watson tree, supercritical for p > 1/sqrt 2).
+      const VertexId p1 = tree_.vertex_of_heap(h, Side::kTree1);
+      const VertexId c1 = tree_.vertex_of_heap(child, Side::kTree1);
+      if (!ctx.probe_between(p1, c1)) continue;
+      const VertexId p2 = tree_.vertex_of_heap(h, Side::kTree2);
+      const VertexId c2 = tree_.vertex_of_heap(child, Side::kTree2);
+      if (!ctx.probe_between(p2, c2)) continue;
+      stack.push_back(child);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace faultroute

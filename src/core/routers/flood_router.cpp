@@ -1,0 +1,47 @@
+#include "core/routers/flood_router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace faultroute {
+
+std::optional<Path> FloodRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  if (u == v) return Path{u};
+  const Topology& graph = ctx.graph();
+  std::unordered_map<VertexId, VertexId> parent;
+  std::queue<VertexId> queue;
+  parent.emplace(u, u);
+  queue.push(u);
+
+  const auto build_path = [&parent, u](VertexId target) {
+    Path path;
+    for (VertexId x = target;; x = parent.at(x)) {
+      path.push_back(x);
+      if (x == u) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop();
+    const int deg = graph.degree(x);
+    int target_index = -1;
+    if (probe_target_first_) target_index = edge_index_of(graph, x, v);
+    for (int step = (target_index >= 0 ? -1 : 0); step < deg; ++step) {
+      const int i = (step == -1) ? target_index : step;
+      if (step != -1 && i == target_index && target_index >= 0) continue;  // done already
+      const VertexId y = graph.neighbor(x, i);
+      if (parent.contains(y)) continue;
+      if (!ctx.probe(x, i)) continue;
+      parent.emplace(y, x);
+      if (y == v) return build_path(v);
+      queue.push(y);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace faultroute

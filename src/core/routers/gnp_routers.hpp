@@ -1,0 +1,39 @@
+#pragma once
+
+#include "core/router.hpp"
+#include "core/routers/flood_router.hpp"
+
+namespace faultroute {
+
+/// The natural local router for G_{n,p} (Theorem 10's setting): flood
+/// outwards from u, probing each newly reached vertex's edge to the target
+/// first. Theorem 10 shows *every* local algorithm pays Omega(n^2) expected
+/// probes here; this router realises Theta(n^2) and is the measured
+/// witness for the lower bound's tightness.
+class GnpLocalRouter final : public FloodRouter {
+ public:
+  GnpLocalRouter() : FloodRouter(/*probe_target_first=*/true) {}
+
+  [[nodiscard]] std::string name() const override { return "gnp-local"; }
+};
+
+/// The oracle router of Theorem 11, verbatim from the paper:
+///
+///   (1) whenever there are unqueried edges between U_t and V_t, probe one;
+///   (2) otherwise grow the smaller of U_t, V_t by probing an unprobed edge
+///       to a previously unreached vertex;
+///   (3) if no such edge exists, report u !~ v.
+///
+/// Both sets grow to ~ sqrt(n) before a cross edge appears (birthday
+/// paradox), each growth step costs ~ n/c probes, so the expected complexity
+/// is Theta(n^{3/2}) — a sqrt(n) factor below any local router. Requires the
+/// topology to be a CompleteGraph. Complete.
+class GnpOracleRouter final : public Router {
+ public:
+  std::optional<Path> route(ProbeContext& ctx, VertexId u, VertexId v) override;
+
+  [[nodiscard]] std::string name() const override { return "gnp-oracle"; }
+  [[nodiscard]] RoutingMode required_mode() const override { return RoutingMode::kOracle; }
+};
+
+}  // namespace faultroute

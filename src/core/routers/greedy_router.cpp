@@ -1,0 +1,84 @@
+#include "core/routers/greedy_router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace faultroute {
+
+namespace {
+
+/// Indices of v's incident edges sorted by the fault-free distance from the
+/// resulting neighbor to the target (ties broken by index for determinism).
+std::vector<int> edges_by_target_distance(const Topology& graph, VertexId x, VertexId v) {
+  const int deg = graph.degree(x);
+  std::vector<std::pair<std::uint64_t, int>> ranked;
+  ranked.reserve(static_cast<std::size_t>(deg));
+  for (int i = 0; i < deg; ++i) ranked.emplace_back(graph.distance(graph.neighbor(x, i), v), i);
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int> order;
+  order.reserve(ranked.size());
+  for (const auto& [dist, i] : ranked) order.push_back(i);
+  return order;
+}
+
+}  // namespace
+
+std::optional<Path> GreedyDescentRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  const Topology& graph = ctx.graph();
+  Path path{u};
+  VertexId x = u;
+  while (x != v) {
+    const std::uint64_t dx = graph.distance(x, v);
+    bool moved = false;
+    for (const int i : edges_by_target_distance(graph, x, v)) {
+      const VertexId y = graph.neighbor(x, i);
+      if (graph.distance(y, v) >= dx) break;  // improving edges exhausted
+      if (ctx.probe(x, i)) {
+        path.push_back(y);
+        x = y;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) return std::nullopt;  // stuck: pure greedy gives up
+  }
+  return path;
+}
+
+std::optional<Path> BestFirstRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  if (u == v) return Path{u};
+  const Topology& graph = ctx.graph();
+  using Entry = std::pair<std::uint64_t, VertexId>;  // (distance-to-target, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  std::unordered_map<VertexId, VertexId> parent;
+  std::unordered_map<VertexId, bool> expanded;
+  parent.emplace(u, u);
+  frontier.emplace(graph.distance(u, v), u);
+  while (!frontier.empty()) {
+    const auto [dist, x] = frontier.top();
+    frontier.pop();
+    if (expanded[x]) continue;
+    expanded[x] = true;
+    for (const int i : edges_by_target_distance(graph, x, v)) {
+      const VertexId y = graph.neighbor(x, i);
+      if (parent.contains(y)) continue;
+      if (!ctx.probe(x, i)) continue;
+      parent.emplace(y, x);
+      if (y == v) {
+        Path path;
+        for (VertexId z = v;; z = parent.at(z)) {
+          path.push_back(z);
+          if (z == u) break;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.emplace(graph.distance(y, v), y);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace faultroute

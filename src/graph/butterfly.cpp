@@ -1,0 +1,67 @@
+#include "graph/butterfly.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace faultroute {
+
+Butterfly::Butterfly(int k) : k_(k), rows_(1ULL << k) {
+  if (k < 2 || k > 26) throw std::invalid_argument("Butterfly: order must be in [2, 26]");
+}
+
+VertexId Butterfly::neighbor(VertexId v, int i) const {
+  const int level = level_of(v);
+  const std::uint64_t row = row_of(v);
+  switch (i) {
+    case 0: {  // up-straight: level -> level+1, same row
+      const int up = (level + 1) % k_;
+      return vertex_at(up, row);
+    }
+    case 1: {  // up-cross: level -> level+1, flip bit `level`
+      const int up = (level + 1) % k_;
+      return vertex_at(up, row ^ (1ULL << level));
+    }
+    case 2: {  // down-straight: level-1 -> level, same row
+      const int down = (level + k_ - 1) % k_;
+      return vertex_at(down, row);
+    }
+    case 3: {  // down-cross: level-1 -> level, flip bit `level-1`
+      const int down = (level + k_ - 1) % k_;
+      return vertex_at(down, row ^ (1ULL << down));
+    }
+    default:
+      throw std::out_of_range("Butterfly::neighbor: index out of range");
+  }
+}
+
+EdgeKey Butterfly::edge_key(VertexId v, int i) const {
+  // An edge between levels l and l+1 (mod k) is owned by its level-l
+  // endpoint; key = (owner id, cross bit). Parallel edges (k == 2) differ in
+  // owner, hence in key.
+  switch (i) {
+    case 0:
+      return (v << 1) | 0ULL;
+    case 1:
+      return (v << 1) | 1ULL;
+    case 2: {
+      const VertexId owner = neighbor(v, 2);
+      return (owner << 1) | 0ULL;
+    }
+    case 3: {
+      const VertexId owner = neighbor(v, 3);
+      return (owner << 1) | 1ULL;
+    }
+    default:
+      throw std::out_of_range("Butterfly::edge_key: index out of range");
+  }
+}
+
+std::string Butterfly::name() const { return "butterfly(k=" + std::to_string(k_) + ")"; }
+
+std::string Butterfly::vertex_label(VertexId v) const {
+  std::ostringstream out;
+  out << "(l=" << level_of(v) << ",r=" << row_of(v) << ')';
+  return out.str();
+}
+
+}  // namespace faultroute

@@ -1,0 +1,20 @@
+#include "graph/complete.hpp"
+
+#include <stdexcept>
+
+namespace faultroute {
+
+CompleteGraph::CompleteGraph(std::uint64_t n) : n_(n) {
+  if (n < 2 || n > (1ULL << 31)) {
+    throw std::invalid_argument("CompleteGraph: n must be in [2, 2^31]");
+  }
+}
+
+std::string CompleteGraph::name() const { return "complete(n=" + std::to_string(n_) + ")"; }
+
+std::vector<VertexId> CompleteGraph::shortest_path(VertexId u, VertexId v) const {
+  if (u == v) return {u};
+  return {u, v};
+}
+
+}  // namespace faultroute

@@ -1,0 +1,70 @@
+#include "graph/cube_connected_cycles.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace faultroute {
+
+CubeConnectedCycles::CubeConnectedCycles(int k) : k_(k), rows_(1ULL << k) {
+  if (k < 3 || k > 26) {
+    throw std::invalid_argument("CubeConnectedCycles: order must be in [3, 26]");
+  }
+}
+
+VertexId CubeConnectedCycles::neighbor(VertexId v, int i) const {
+  const int cursor = cursor_of(v);
+  const std::uint64_t row = row_of(v);
+  switch (i) {
+    case 0:
+      return vertex_at((cursor + k_ - 1) % k_, row);
+    case 1:
+      return vertex_at((cursor + 1) % k_, row);
+    case 2:
+      return vertex_at(cursor, row ^ (1ULL << cursor));
+    default:
+      throw std::out_of_range("CubeConnectedCycles::neighbor: index out of range");
+  }
+}
+
+EdgeKey CubeConnectedCycles::edge_key(VertexId v, int i) const {
+  // Cycle edge from (cursor, row) to (cursor+1, row) is owned by its lower
+  // cursor endpoint in the +1 sense: key = 2 * owner. Rung edge is owned by
+  // the endpoint whose row bit `cursor` is 0: key = 2 * owner + 1.
+  switch (i) {
+    case 0:
+      return (neighbor(v, 0) << 1);          // owner is the predecessor
+    case 1:
+      return (v << 1);                        // v owns the edge to its successor
+    case 2: {
+      const int cursor = cursor_of(v);
+      const std::uint64_t row = row_of(v);
+      const VertexId owner =
+          (row & (1ULL << cursor)) == 0 ? v : vertex_at(cursor, row ^ (1ULL << cursor));
+      return (owner << 1) | 1ULL;
+    }
+    default:
+      throw std::out_of_range("CubeConnectedCycles::edge_key: index out of range");
+  }
+}
+
+EdgeEndpoints CubeConnectedCycles::endpoints(EdgeKey key) const {
+  const VertexId owner = key >> 1;
+  if ((key & 1ULL) == 0) {
+    // Cycle edge: owner -> next cursor.
+    return {owner, vertex_at((cursor_of(owner) + 1) % k_, row_of(owner))};
+  }
+  const int cursor = cursor_of(owner);
+  return {owner, vertex_at(cursor, row_of(owner) ^ (1ULL << cursor))};
+}
+
+std::string CubeConnectedCycles::name() const {
+  return "ccc(k=" + std::to_string(k_) + ")";
+}
+
+std::string CubeConnectedCycles::vertex_label(VertexId v) const {
+  std::ostringstream out;
+  out << "(c=" << cursor_of(v) << ",r=" << row_of(v) << ')';
+  return out.str();
+}
+
+}  // namespace faultroute

@@ -1,0 +1,65 @@
+#include "graph/cycle_matching.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "random/rng.hpp"
+
+namespace faultroute {
+
+CycleWithMatching::CycleWithMatching(std::uint64_t n, std::uint64_t matching_seed)
+    : n_(n), seed_(matching_seed), match_(n) {
+  if (n < 4 || n % 2 != 0) {
+    throw std::invalid_argument("CycleWithMatching: N must be even and >= 4");
+  }
+  // Uniform perfect matching: shuffle the vertices, pair consecutive entries.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(matching_seed);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    const std::uint64_t j = uniform_below(rng, i + 1);
+    std::swap(order[i], order[j]);
+  }
+  for (std::uint64_t i = 0; i < n; i += 2) {
+    match_[order[i]] = order[i + 1];
+    match_[order[i + 1]] = order[i];
+  }
+}
+
+VertexId CycleWithMatching::neighbor(VertexId v, int i) const {
+  switch (i) {
+    case 0:
+      return (v + n_ - 1) % n_;
+    case 1:
+      return (v + 1) % n_;
+    case 2:
+      return match_[v];
+    default:
+      throw std::out_of_range("CycleWithMatching::neighbor: index out of range");
+  }
+}
+
+EdgeKey CycleWithMatching::edge_key(VertexId v, int i) const {
+  // Cycle edge (v, v+1 mod N) is owned by v: key in [0, N).
+  // Matching edge {v, w}: key = N + min(v, w). A matching partner that also
+  // happens to be a cycle neighbour yields a parallel edge with a distinct
+  // key, which the probe model handles as a multigraph.
+  switch (i) {
+    case 0:
+      return (v + n_ - 1) % n_;
+    case 1:
+      return v;
+    case 2: {
+      const VertexId w = match_[v];
+      return n_ + (v < w ? v : w);
+    }
+    default:
+      throw std::out_of_range("CycleWithMatching::edge_key: index out of range");
+  }
+}
+
+std::string CycleWithMatching::name() const {
+  return "cycle_matching(n=" + std::to_string(n_) + ",seed=" + std::to_string(seed_) + ")";
+}
+
+}  // namespace faultroute

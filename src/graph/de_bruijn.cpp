@@ -1,0 +1,65 @@
+#include "graph/de_bruijn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faultroute {
+
+DeBruijn::DeBruijn(int k) : k_(k), n_(1ULL << k) {
+  if (k < 2 || k > 30) throw std::invalid_argument("DeBruijn: order must be in [2, 30]");
+}
+
+int DeBruijn::neighbors_of(VertexId v, std::array<VertexId, 4>& out) const {
+  std::array<VertexId, 4> cand = {
+      (2 * v) & (n_ - 1),
+      (2 * v + 1) & (n_ - 1),
+      v >> 1,
+      (v >> 1) | (n_ >> 1),
+  };
+  std::sort(cand.begin(), cand.end());
+  int count = 0;
+  for (int j = 0; j < 4; ++j) {
+    if (cand[static_cast<std::size_t>(j)] == v) continue;  // self-loop
+    if (count > 0 && out[static_cast<std::size_t>(count - 1)] == cand[static_cast<std::size_t>(j)]) {
+      continue;  // coincident pair
+    }
+    out[static_cast<std::size_t>(count++)] = cand[static_cast<std::size_t>(j)];
+  }
+  return count;
+}
+
+std::uint64_t DeBruijn::num_edges() const {
+  // Count by summing degrees; DB(k) is small enough to enumerate (<= 2^30,
+  // but in practice callers use k <= 24). Exact closed forms exist but this
+  // keeps the invariant "num_edges == sum(degree)/2" trivially true.
+  std::uint64_t total = 0;
+  std::array<VertexId, 4> scratch{};
+  for (VertexId v = 0; v < n_; ++v) {
+    total += static_cast<std::uint64_t>(neighbors_of(v, scratch));
+  }
+  return total / 2;
+}
+
+int DeBruijn::degree(VertexId v) const {
+  std::array<VertexId, 4> scratch{};
+  return neighbors_of(v, scratch);
+}
+
+VertexId DeBruijn::neighbor(VertexId v, int i) const {
+  std::array<VertexId, 4> out{};
+  const int count = neighbors_of(v, out);
+  if (i < 0 || i >= count) throw std::out_of_range("DeBruijn::neighbor: index out of range");
+  return out[static_cast<std::size_t>(i)];
+}
+
+EdgeKey DeBruijn::edge_key(VertexId v, int i) const {
+  // Simple graph after dedup, so the unordered endpoint pair is canonical.
+  const VertexId w = neighbor(v, i);
+  const VertexId lo = v < w ? v : w;
+  const VertexId hi = v < w ? w : v;
+  return lo * n_ + hi;
+}
+
+std::string DeBruijn::name() const { return "de_bruijn(k=" + std::to_string(k_) + ")"; }
+
+}  // namespace faultroute

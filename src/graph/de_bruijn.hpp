@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+/// The undirected binary De Bruijn graph DB(k) on N = 2^k vertices.
+///
+/// Vertex v is adjacent to its shifts 2v mod N, 2v+1 mod N, floor(v/2) and
+/// floor(v/2) + N/2 (self-loops removed, coincident pairs collapsed).
+/// Constant degree <= 4, diameter k = log2 N. One of the families the paper's
+/// Section 6 asks about: does its routing transition coincide with its
+/// percolation transition?
+class DeBruijn final : public Topology {
+ public:
+  /// Requires 2 <= k <= 30.
+  explicit DeBruijn(int k);
+
+  [[nodiscard]] std::uint64_t num_vertices() const override { return n_; }
+  [[nodiscard]] std::uint64_t num_edges() const override;
+  [[nodiscard]] int degree(VertexId v) const override;
+  [[nodiscard]] VertexId neighbor(VertexId v, int i) const override;
+  [[nodiscard]] EdgeKey edge_key(VertexId v, int i) const override;
+  [[nodiscard]] EdgeEndpoints endpoints(EdgeKey key) const override {
+    return {key / n_, key % n_};
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int order() const { return k_; }
+
+ private:
+  /// Neighbors of v: deduplicated, self-loops removed, ascending order.
+  /// Returns the count; fills `out`.
+  int neighbors_of(VertexId v, std::array<VertexId, 4>& out) const;
+
+  int k_;
+  std::uint64_t n_;
+};
+
+}  // namespace faultroute

@@ -1,0 +1,26 @@
+#include "graph/explicit_graph.hpp"
+
+#include <stdexcept>
+
+namespace faultroute {
+
+ExplicitGraph::ExplicitGraph(std::uint64_t num_vertices, const EdgeList& edges)
+    : adjacency_(num_vertices) {
+  for (const auto& [a, b] : edges) {
+    if (a >= num_vertices || b >= num_vertices) {
+      throw std::invalid_argument("ExplicitGraph: edge endpoint out of range");
+    }
+    if (a == b) throw std::invalid_argument("ExplicitGraph: self-loops not supported");
+    const EdgeKey key = num_edges_++;
+    adjacency_[a].emplace_back(b, key);
+    adjacency_[b].emplace_back(a, key);
+    edges_.emplace_back(a, b);
+  }
+}
+
+std::string ExplicitGraph::name() const {
+  return "explicit(v=" + std::to_string(num_vertices()) +
+         ",e=" + std::to_string(num_edges_) + ")";
+}
+
+}  // namespace faultroute

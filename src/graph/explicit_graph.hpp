@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+/// A materialised adjacency-list graph. Used for small test fixtures and for
+/// extracted percolation clusters. Supports parallel edges; self-loops are
+/// rejected. Edge keys are the insertion indices of the edges.
+class ExplicitGraph final : public Topology {
+ public:
+  using EdgeList = std::vector<std::pair<VertexId, VertexId>>;
+
+  /// Builds a graph on `num_vertices` vertices from an undirected edge list.
+  ExplicitGraph(std::uint64_t num_vertices, const EdgeList& edges);
+
+  [[nodiscard]] std::uint64_t num_vertices() const override { return adjacency_.size(); }
+  [[nodiscard]] std::uint64_t num_edges() const override { return num_edges_; }
+  [[nodiscard]] int degree(VertexId v) const override {
+    return static_cast<int>(adjacency_[v].size());
+  }
+  [[nodiscard]] VertexId neighbor(VertexId v, int i) const override {
+    return adjacency_[v][static_cast<std::size_t>(i)].first;
+  }
+  [[nodiscard]] EdgeKey edge_key(VertexId v, int i) const override {
+    return adjacency_[v][static_cast<std::size_t>(i)].second;
+  }
+  [[nodiscard]] EdgeEndpoints endpoints(EdgeKey key) const override {
+    const auto& [a, b] = edges_.at(key);
+    return {a, b};
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  // adjacency_[v] = (neighbor, edge index) pairs in insertion order.
+  std::vector<std::vector<std::pair<VertexId, EdgeKey>>> adjacency_;
+  EdgeList edges_;  // edge index -> endpoints
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace faultroute

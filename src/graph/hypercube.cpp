@@ -1,0 +1,35 @@
+#include "graph/hypercube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace faultroute {
+
+Hypercube::Hypercube(int n) : n_(n) {
+  if (n < 1 || n > 40) {
+    throw std::invalid_argument("Hypercube: dimension must be in [1, 40]");
+  }
+}
+
+std::string Hypercube::name() const { return "hypercube(n=" + std::to_string(n_) + ")"; }
+
+std::uint64_t Hypercube::distance(VertexId u, VertexId v) const {
+  return static_cast<std::uint64_t>(std::popcount(u ^ v));
+}
+
+std::vector<VertexId> Hypercube::shortest_path(VertexId u, VertexId v) const {
+  std::vector<VertexId> path;
+  path.reserve(static_cast<std::size_t>(distance(u, v)) + 1);
+  path.push_back(u);
+  VertexId x = u;
+  std::uint64_t diff = u ^ v;
+  while (diff != 0) {
+    const int bit = std::countr_zero(diff);
+    x ^= (1ULL << bit);
+    diff &= diff - 1;
+    path.push_back(x);
+  }
+  return path;
+}
+
+}  // namespace faultroute

@@ -1,0 +1,191 @@
+#include "graph/mesh.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace faultroute {
+
+Mesh::Mesh(int dim, std::int64_t side, bool wrap)
+    : dim_(dim), side_(side), wrap_(wrap), num_vertices_(1), stride_{} {
+  if (dim < 1 || dim > kMaxDimension) {
+    throw std::invalid_argument("Mesh: dimension must be in [1, 8]");
+  }
+  if (side < 2) throw std::invalid_argument("Mesh: side must be >= 2");
+  if (wrap && side < 3) {
+    throw std::invalid_argument("Mesh: torus requires side >= 3 (else parallel edges)");
+  }
+  for (int a = 0; a < dim_; ++a) {
+    stride_[static_cast<std::size_t>(a)] = num_vertices_;
+    const auto s = static_cast<std::uint64_t>(side);
+    if (num_vertices_ > (1ULL << 62) / s) {
+      throw std::invalid_argument("Mesh: too many vertices (side^dim > 2^62)");
+    }
+    num_vertices_ *= s;
+  }
+}
+
+std::uint64_t Mesh::num_edges() const {
+  // Per axis: side^(d-1) * (side - 1) internal edges, plus side^(d-1) wrap
+  // edges on the torus.
+  const std::uint64_t per_axis_lines = num_vertices_ / static_cast<std::uint64_t>(side_);
+  const std::uint64_t per_line =
+      static_cast<std::uint64_t>(side_ - 1) + (wrap_ ? 1ULL : 0ULL);
+  return static_cast<std::uint64_t>(dim_) * per_axis_lines * per_line;
+}
+
+Mesh::Coords Mesh::coords_of(VertexId v) const {
+  Coords c{};
+  for (int a = 0; a < dim_; ++a) {
+    c[static_cast<std::size_t>(a)] = static_cast<std::int64_t>(v % static_cast<std::uint64_t>(side_));
+    v /= static_cast<std::uint64_t>(side_);
+  }
+  return c;
+}
+
+VertexId Mesh::vertex_at(const Coords& coords) const {
+  VertexId v = 0;
+  for (int a = dim_ - 1; a >= 0; --a) {
+    const std::int64_t c = coords[static_cast<std::size_t>(a)];
+    assert(c >= 0 && c < side_);
+    v = v * static_cast<std::uint64_t>(side_) + static_cast<std::uint64_t>(c);
+  }
+  return v;
+}
+
+int Mesh::degree(VertexId v) const {
+  if (wrap_) return 2 * dim_;
+  const Coords c = coords_of(v);
+  int deg = 0;
+  for (int a = 0; a < dim_; ++a) {
+    if (c[static_cast<std::size_t>(a)] > 0) ++deg;
+    if (c[static_cast<std::size_t>(a)] < side_ - 1) ++deg;
+  }
+  return deg;
+}
+
+void Mesh::locate_move(VertexId v, int i, int& axis, int& direction) const {
+  if (wrap_) {
+    axis = i / 2;
+    direction = i % 2;
+    return;
+  }
+  const Coords c = coords_of(v);
+  int count = 0;
+  for (int a = 0; a < dim_; ++a) {
+    if (c[static_cast<std::size_t>(a)] > 0) {
+      if (count == i) {
+        axis = a;
+        direction = 0;
+        return;
+      }
+      ++count;
+    }
+    if (c[static_cast<std::size_t>(a)] < side_ - 1) {
+      if (count == i) {
+        axis = a;
+        direction = 1;
+        return;
+      }
+      ++count;
+    }
+  }
+  throw std::out_of_range("Mesh::neighbor: incident-edge index out of range");
+}
+
+VertexId Mesh::neighbor(VertexId v, int i) const {
+  int axis = 0;
+  int direction = 0;
+  locate_move(v, i, axis, direction);
+  const auto stride = stride_[static_cast<std::size_t>(axis)];
+  const std::int64_t coord = static_cast<std::int64_t>(
+      (v / stride) % static_cast<std::uint64_t>(side_));
+  if (direction == 1) {
+    if (coord == side_ - 1) return v - static_cast<std::uint64_t>(side_ - 1) * stride;  // wrap
+    return v + stride;
+  }
+  if (coord == 0) return v + static_cast<std::uint64_t>(side_ - 1) * stride;  // wrap
+  return v - stride;
+}
+
+EdgeKey Mesh::edge_key(VertexId v, int i) const {
+  // Canonical owner of the edge along `axis` is the endpoint from which the
+  // edge increases the coordinate by +1 (mod side on the torus). That
+  // endpoint is unique for side >= 3, and for side == 2 only the non-wrap
+  // mesh is allowed, where it is the coord-0 endpoint.
+  int axis = 0;
+  int direction = 0;
+  locate_move(v, i, axis, direction);
+  const VertexId owner = (direction == 1) ? v : neighbor(v, i);
+  return static_cast<EdgeKey>(axis) * num_vertices_ + owner;
+}
+
+EdgeEndpoints Mesh::endpoints(EdgeKey key) const {
+  const int axis = static_cast<int>(key / num_vertices_);
+  const VertexId owner = key % num_vertices_;
+  const auto stride = stride_[static_cast<std::size_t>(axis)];
+  const std::int64_t coord = static_cast<std::int64_t>(
+      (owner / stride) % static_cast<std::uint64_t>(side_));
+  // The owner is the endpoint from which the edge increases the coordinate.
+  const VertexId other = (coord == side_ - 1)
+                             ? owner - static_cast<std::uint64_t>(side_ - 1) * stride
+                             : owner + stride;
+  return {owner, other};
+}
+
+std::string Mesh::name() const {
+  std::ostringstream out;
+  out << (wrap_ ? "torus" : "mesh") << "(d=" << dim_ << ",side=" << side_ << ")";
+  return out.str();
+}
+
+std::uint64_t Mesh::distance(VertexId u, VertexId v) const {
+  const Coords cu = coords_of(u);
+  const Coords cv = coords_of(v);
+  std::uint64_t total = 0;
+  for (int a = 0; a < dim_; ++a) {
+    std::int64_t delta = std::llabs(cu[static_cast<std::size_t>(a)] - cv[static_cast<std::size_t>(a)]);
+    if (wrap_) delta = std::min(delta, side_ - delta);
+    total += static_cast<std::uint64_t>(delta);
+  }
+  return total;
+}
+
+std::vector<VertexId> Mesh::shortest_path(VertexId u, VertexId v) const {
+  std::vector<VertexId> path;
+  path.reserve(static_cast<std::size_t>(distance(u, v)) + 1);
+  path.push_back(u);
+  Coords c = coords_of(u);
+  const Coords target = coords_of(v);
+  for (int a = 0; a < dim_; ++a) {
+    auto& cur = c[static_cast<std::size_t>(a)];
+    const std::int64_t goal = target[static_cast<std::size_t>(a)];
+    while (cur != goal) {
+      std::int64_t step;
+      if (!wrap_) {
+        step = (goal > cur) ? 1 : -1;
+      } else {
+        const std::int64_t forward = (goal - cur + side_) % side_;
+        step = (forward <= side_ - forward) ? 1 : -1;
+      }
+      cur = (cur + step + side_) % side_;
+      path.push_back(vertex_at(c));
+    }
+  }
+  return path;
+}
+
+std::string Mesh::vertex_label(VertexId v) const {
+  const Coords c = coords_of(v);
+  std::ostringstream out;
+  out << '(';
+  for (int a = 0; a < dim_; ++a) {
+    if (a > 0) out << ',';
+    out << c[static_cast<std::size_t>(a)];
+  }
+  out << ')';
+  return out.str();
+}
+
+}  // namespace faultroute

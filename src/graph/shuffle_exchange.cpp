@@ -1,0 +1,62 @@
+#include "graph/shuffle_exchange.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faultroute {
+
+ShuffleExchange::ShuffleExchange(int k) : k_(k), n_(1ULL << k) {
+  if (k < 2 || k > 30) {
+    throw std::invalid_argument("ShuffleExchange: order must be in [2, 30]");
+  }
+}
+
+int ShuffleExchange::neighbors_of(VertexId v, std::array<VertexId, 3>& out) const {
+  std::array<VertexId, 3> cand = {v ^ 1ULL, rotate_left(v), rotate_right(v)};
+  std::sort(cand.begin(), cand.end());
+  int count = 0;
+  for (int j = 0; j < 3; ++j) {
+    if (cand[static_cast<std::size_t>(j)] == v) continue;
+    if (count > 0 && out[static_cast<std::size_t>(count - 1)] == cand[static_cast<std::size_t>(j)]) {
+      continue;
+    }
+    out[static_cast<std::size_t>(count++)] = cand[static_cast<std::size_t>(j)];
+  }
+  return count;
+}
+
+std::uint64_t ShuffleExchange::num_edges() const {
+  std::uint64_t total = 0;
+  std::array<VertexId, 3> scratch{};
+  for (VertexId v = 0; v < n_; ++v) {
+    total += static_cast<std::uint64_t>(neighbors_of(v, scratch));
+  }
+  return total / 2;
+}
+
+int ShuffleExchange::degree(VertexId v) const {
+  std::array<VertexId, 3> scratch{};
+  return neighbors_of(v, scratch);
+}
+
+VertexId ShuffleExchange::neighbor(VertexId v, int i) const {
+  std::array<VertexId, 3> out{};
+  const int count = neighbors_of(v, out);
+  if (i < 0 || i >= count) {
+    throw std::out_of_range("ShuffleExchange::neighbor: index out of range");
+  }
+  return out[static_cast<std::size_t>(i)];
+}
+
+EdgeKey ShuffleExchange::edge_key(VertexId v, int i) const {
+  const VertexId w = neighbor(v, i);
+  const VertexId lo = v < w ? v : w;
+  const VertexId hi = v < w ? w : v;
+  return lo * n_ + hi;
+}
+
+std::string ShuffleExchange::name() const {
+  return "shuffle_exchange(k=" + std::to_string(k_) + ")";
+}
+
+}  // namespace faultroute

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+/// The undirected shuffle-exchange graph SE(k) on N = 2^k vertices.
+///
+/// Edges: exchange v <-> v^1, shuffle v <-> rotate-left_k(v) (and hence also
+/// rotate-right). Self-loops removed and coincident pairs collapsed; constant
+/// degree <= 3. Another Section-6 family.
+class ShuffleExchange final : public Topology {
+ public:
+  /// Requires 2 <= k <= 30.
+  explicit ShuffleExchange(int k);
+
+  [[nodiscard]] std::uint64_t num_vertices() const override { return n_; }
+  [[nodiscard]] std::uint64_t num_edges() const override;
+  [[nodiscard]] int degree(VertexId v) const override;
+  [[nodiscard]] VertexId neighbor(VertexId v, int i) const override;
+  [[nodiscard]] EdgeKey edge_key(VertexId v, int i) const override;
+  [[nodiscard]] EdgeEndpoints endpoints(EdgeKey key) const override {
+    return {key / n_, key % n_};
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int order() const { return k_; }
+
+  [[nodiscard]] VertexId rotate_left(VertexId v) const {
+    return ((v << 1) | (v >> (k_ - 1))) & (n_ - 1);
+  }
+  [[nodiscard]] VertexId rotate_right(VertexId v) const {
+    return (v >> 1) | ((v & 1) << (k_ - 1));
+  }
+
+ private:
+  int neighbors_of(VertexId v, std::array<VertexId, 3>& out) const;
+
+  int k_;
+  std::uint64_t n_;
+};
+
+}  // namespace faultroute

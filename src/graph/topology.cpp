@@ -1,0 +1,82 @@
+#include "graph/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace faultroute {
+
+std::uint64_t Topology::distance(VertexId u, VertexId v) const {
+  if (u == v) return 0;
+  // Plain BFS over the implicit adjacency. Unreachable => num_vertices().
+  std::unordered_map<VertexId, std::uint64_t> dist;
+  std::queue<VertexId> queue;
+  dist.emplace(u, 0);
+  queue.push(u);
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop();
+    const std::uint64_t dx = dist.at(x);
+    const int deg = degree(x);
+    for (int i = 0; i < deg; ++i) {
+      const VertexId y = neighbor(x, i);
+      if (dist.contains(y)) continue;
+      if (y == v) return dx + 1;
+      dist.emplace(y, dx + 1);
+      queue.push(y);
+    }
+  }
+  return num_vertices();
+}
+
+std::vector<VertexId> Topology::shortest_path(VertexId u, VertexId v) const {
+  if (u == v) return {u};
+  std::unordered_map<VertexId, VertexId> parent;
+  std::queue<VertexId> queue;
+  parent.emplace(u, u);
+  queue.push(u);
+  bool found = false;
+  while (!queue.empty() && !found) {
+    const VertexId x = queue.front();
+    queue.pop();
+    const int deg = degree(x);
+    for (int i = 0; i < deg; ++i) {
+      const VertexId y = neighbor(x, i);
+      if (parent.contains(y)) continue;
+      parent.emplace(y, x);
+      if (y == v) {
+        found = true;
+        break;
+      }
+      queue.push(y);
+    }
+  }
+  if (!found) return {};
+  std::vector<VertexId> path;
+  for (VertexId x = v;; x = parent.at(x)) {
+    path.push_back(x);
+    if (x == u) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string Topology::vertex_label(VertexId v) const { return std::to_string(v); }
+
+int edge_index_of(const Topology& g, VertexId u, VertexId v) {
+  const int deg = g.degree(u);
+  for (int i = 0; i < deg; ++i) {
+    if (g.neighbor(u, i) == v) return i;
+  }
+  return -1;
+}
+
+std::vector<EdgeKey> incident_edge_keys(const Topology& g, VertexId v) {
+  const int deg = g.degree(v);
+  std::vector<EdgeKey> keys;
+  keys.reserve(static_cast<std::size_t>(deg));
+  for (int i = 0; i < deg; ++i) keys.push_back(g.edge_key(v, i));
+  return keys;
+}
+
+}  // namespace faultroute

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultroute {
+
+/// Vertex identifier. Every topology numbers its vertices contiguously in
+/// [0, num_vertices()), so analyses may use vertex-indexed arrays.
+using VertexId = std::uint64_t;
+
+/// Canonical undirected edge identifier. Both endpoints of an edge must
+/// compute the same key; distinct edges (including parallel edges, which some
+/// topologies such as the wrapped butterfly allow) must have distinct keys.
+using EdgeKey = std::uint64_t;
+
+/// The unordered endpoint pair of an edge (order unspecified).
+struct EdgeEndpoints {
+  VertexId a = 0;
+  VertexId b = 0;
+};
+
+/// Abstract interface for an implicit undirected graph.
+///
+/// Topologies are *implicit*: adjacency is computed, never stored, so a
+/// hypercube with 2^n vertices costs nothing until touched. This is what lets
+/// the probe model of the paper be simulated exactly — a routing algorithm
+/// pays only for the edges it queries.
+///
+/// Contract:
+///  * vertices are 0 .. num_vertices()-1;
+///  * `neighbor(v, i)` for i in [0, degree(v)) enumerates the incident edges;
+///  * `edge_key(v, i)` is symmetric: if neighbor(v, i) == w and
+///    neighbor(w, j) == v refer to the same physical edge, then
+///    edge_key(v, i) == edge_key(w, j);
+///  * the default `distance` / `shortest_path` run a BFS on the implicit
+///    graph and are therefore only suitable for small instances; topologies
+///    with a closed-form metric override them.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Number of vertices.
+  [[nodiscard]] virtual std::uint64_t num_vertices() const = 0;
+
+  /// Number of undirected edges.
+  [[nodiscard]] virtual std::uint64_t num_edges() const = 0;
+
+  /// Degree of vertex v (number of incident edges, counting parallel edges).
+  [[nodiscard]] virtual int degree(VertexId v) const = 0;
+
+  /// The i-th neighbor of v, for i in [0, degree(v)).
+  [[nodiscard]] virtual VertexId neighbor(VertexId v, int i) const = 0;
+
+  /// Canonical key of the i-th incident edge of v.
+  [[nodiscard]] virtual EdgeKey edge_key(VertexId v, int i) const = 0;
+
+  /// The two endpoints of the edge with canonical key `key`. Every topology
+  /// in this library uses an invertible key encoding, which is what lets
+  /// node-failure samplers recover endpoints at probe time on implicit
+  /// graphs. The key must have been produced by edge_key() of this topology.
+  [[nodiscard]] virtual EdgeEndpoints endpoints(EdgeKey key) const = 0;
+
+  /// Human-readable topology name, e.g. "hypercube(n=12)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Graph distance between u and v in the fault-free topology.
+  /// Default: BFS (small graphs only). Returns num_vertices() if unreachable.
+  [[nodiscard]] virtual std::uint64_t distance(VertexId u, VertexId v) const;
+
+  /// Some shortest path from u to v in the fault-free topology, as a vertex
+  /// sequence beginning with u and ending with v. Default: BFS.
+  /// Returns an empty vector if v is unreachable from u.
+  [[nodiscard]] virtual std::vector<VertexId> shortest_path(VertexId u, VertexId v) const;
+
+  /// Printable label for a vertex (default: its numeric id). Topologies with
+  /// structured vertices (mesh coordinates, butterfly (level,row)) override.
+  [[nodiscard]] virtual std::string vertex_label(VertexId v) const;
+};
+
+/// Finds the incident-edge index i such that neighbor(u, i) == v,
+/// or -1 if u and v are not adjacent. Linear in degree(u); when parallel
+/// edges exist the lowest matching index is returned.
+[[nodiscard]] int edge_index_of(const Topology& g, VertexId u, VertexId v);
+
+/// Collects all canonical edge keys incident to v (ascending i).
+[[nodiscard]] std::vector<EdgeKey> incident_edge_keys(const Topology& g, VertexId v);
+
+}  // namespace faultroute

@@ -1,0 +1,53 @@
+#include "percolation/chemical_distance.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace faultroute {
+
+ChemicalPathResult chemical_path(const Topology& graph, const EdgeSampler& sampler,
+                                 VertexId u, VertexId v, std::uint64_t max_vertices) {
+  ChemicalPathResult result;
+  if (u == v) {
+    result.distance = 0;
+    result.path = {u};
+    return result;
+  }
+  std::unordered_map<VertexId, VertexId> parent;
+  std::queue<std::pair<VertexId, std::uint64_t>> queue;
+  parent.emplace(u, u);
+  queue.emplace(u, 0);
+  while (!queue.empty()) {
+    const auto [x, dx] = queue.front();
+    queue.pop();
+    const int deg = graph.degree(x);
+    for (int i = 0; i < deg; ++i) {
+      const VertexId y = graph.neighbor(x, i);
+      if (parent.contains(y)) continue;
+      if (!sampler.is_open(graph.edge_key(x, i))) continue;
+      parent.emplace(y, x);
+      if (y == v) {
+        result.distance = dx + 1;
+        for (VertexId z = v;; z = parent.at(z)) {
+          result.path.push_back(z);
+          if (z == u) break;
+        }
+        std::reverse(result.path.begin(), result.path.end());
+        return result;
+      }
+      if (max_vertices != 0 && parent.size() >= max_vertices) return result;  // unknown
+      queue.emplace(y, dx + 1);
+    }
+  }
+  result.distance = std::nullopt;  // exhausted the cluster: disconnected
+  return result;
+}
+
+std::optional<std::uint64_t> chemical_distance(const Topology& graph,
+                                               const EdgeSampler& sampler, VertexId u,
+                                               VertexId v, std::uint64_t max_vertices) {
+  return chemical_path(graph, sampler, u, v, max_vertices).distance;
+}
+
+}  // namespace faultroute

@@ -1,0 +1,120 @@
+#include "percolation/cluster_analysis.hpp"
+
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace faultroute {
+
+namespace {
+
+/// Applies `fn(v, i, neighbor)` to every open incident edge, visiting each
+/// undirected edge once (from the endpoint that owns the canonical key —
+/// we simply visit from the lower-id endpoint; for parallel edges both
+/// orientations carry distinct keys so this stays exact).
+template <typename Fn>
+void for_each_open_edge(const Topology& graph, const EdgeSampler& sampler, Fn&& fn) {
+  const std::uint64_t n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const int deg = graph.degree(v);
+    for (int i = 0; i < deg; ++i) {
+      const VertexId w = graph.neighbor(v, i);
+      if (w < v) continue;  // visit each edge from its lower endpoint only
+      if (w == v) continue;
+      if (sampler.is_open(graph.edge_key(v, i))) fn(v, w);
+    }
+  }
+}
+
+}  // namespace
+
+ClusterDecomposition::ClusterDecomposition(const Topology& graph, const EdgeSampler& sampler)
+    : dsu_(graph.num_vertices()), largest_root_(0) {
+  summary_.num_vertices = graph.num_vertices();
+  for_each_open_edge(graph, sampler, [this](VertexId a, VertexId b) {
+    ++summary_.num_open_edges;
+    dsu_.unite(a, b);
+  });
+  summary_.num_components = dsu_.num_components();
+  // Scan roots for the two largest clusters.
+  for (VertexId v = 0; v < summary_.num_vertices; ++v) {
+    if (dsu_.find(v) != v) continue;
+    const std::uint64_t size = dsu_.size_of(v);
+    if (size > summary_.largest) {
+      summary_.second_largest = summary_.largest;
+      summary_.largest = size;
+      largest_root_ = v;
+    } else if (size > summary_.second_largest) {
+      summary_.second_largest = size;
+    }
+  }
+}
+
+bool ClusterDecomposition::in_largest_cluster(VertexId v) {
+  return dsu_.find(v) == largest_root_;
+}
+
+ComponentSummary analyze_components(const Topology& graph, const EdgeSampler& sampler) {
+  return ClusterDecomposition(graph, sampler).summary();
+}
+
+std::vector<VertexId> open_cluster_of(const Topology& graph, const EdgeSampler& sampler,
+                                      VertexId source, std::uint64_t max_vertices) {
+  std::vector<VertexId> visited_order;
+  std::unordered_set<VertexId> visited;
+  std::queue<VertexId> queue;
+  visited.insert(source);
+  visited_order.push_back(source);
+  queue.push(source);
+  while (!queue.empty()) {
+    if (max_vertices != 0 && visited_order.size() >= max_vertices) break;
+    const VertexId x = queue.front();
+    queue.pop();
+    const int deg = graph.degree(x);
+    for (int i = 0; i < deg; ++i) {
+      const VertexId y = graph.neighbor(x, i);
+      if (visited.contains(y)) continue;
+      if (!sampler.is_open(graph.edge_key(x, i))) continue;
+      visited.insert(y);
+      visited_order.push_back(y);
+      if (max_vertices != 0 && visited_order.size() >= max_vertices) return visited_order;
+      queue.push(y);
+    }
+  }
+  return visited_order;
+}
+
+std::optional<bool> open_connected(const Topology& graph, const EdgeSampler& sampler,
+                                   VertexId u, VertexId v, std::uint64_t max_vertices) {
+  if (u == v) return true;
+  std::unordered_set<VertexId> visited;
+  std::queue<VertexId> queue;
+  visited.insert(u);
+  queue.push(u);
+  std::uint64_t count = 1;
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop();
+    const int deg = graph.degree(x);
+    for (int i = 0; i < deg; ++i) {
+      const VertexId y = graph.neighbor(x, i);
+      if (visited.contains(y)) continue;
+      if (!sampler.is_open(graph.edge_key(x, i))) continue;
+      if (y == v) return true;
+      visited.insert(y);
+      ++count;
+      if (max_vertices != 0 && count >= max_vertices) return std::nullopt;
+      queue.push(y);
+    }
+  }
+  return false;
+}
+
+ExplicitGraph materialize_open_subgraph(const Topology& graph, const EdgeSampler& sampler) {
+  ExplicitGraph::EdgeList edges;
+  for_each_open_edge(graph, sampler,
+                     [&edges](VertexId a, VertexId b) { edges.emplace_back(a, b); });
+  return ExplicitGraph(graph.num_vertices(), edges);
+}
+
+}  // namespace faultroute

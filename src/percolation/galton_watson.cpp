@@ -1,0 +1,70 @@
+#include "percolation/galton_watson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace faultroute {
+
+BinaryGaltonWatson::BinaryGaltonWatson(double p) : p_(p) {
+  if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("BinaryGaltonWatson: p must be in [0, 1]");
+  }
+}
+
+double BinaryGaltonWatson::survival_probability() const {
+  // Extinction probability e solves e = (1 - p + p e)^2, i.e.
+  // p^2 e^2 + (2p(1-p) - 1) e + (1-p)^2 = 0. The relevant root is the
+  // smaller one; for p <= 1/2 it is e = 1.
+  if (p_ <= 0.5) return 0.0;
+  const double a = p_ * p_;
+  const double b = 2.0 * p_ * (1.0 - p_) - 1.0;
+  const double c = (1.0 - p_) * (1.0 - p_);
+  const double disc = b * b - 4.0 * a * c;
+  const double e = (-b - std::sqrt(disc)) / (2.0 * a);
+  return 1.0 - e;
+}
+
+double BinaryGaltonWatson::reach_probability(int depth) const {
+  // q_k = Pr[some open branch of length k from the root]; q_0 = 1,
+  // q_{k+1} = 1 - (1 - p q_k)^2.
+  double q = 1.0;
+  for (int k = 0; k < depth; ++k) {
+    const double miss = 1.0 - p_ * q;
+    q = 1.0 - miss * miss;
+  }
+  return q;
+}
+
+bool BinaryGaltonWatson::simulate_reaches(Rng& rng, int depth) const {
+  // Depth-first: count of live lineages is kept implicitly via recursion on
+  // an explicit stack of remaining depths.
+  std::vector<int> stack;
+  stack.push_back(depth);
+  while (!stack.empty()) {
+    const int remaining = stack.back();
+    stack.pop_back();
+    if (remaining == 0) return true;
+    for (int child = 0; child < 2; ++child) {
+      if (bernoulli(rng, p_)) stack.push_back(remaining - 1);
+    }
+  }
+  return false;
+}
+
+std::uint64_t BinaryGaltonWatson::simulate_total_progeny(Rng& rng,
+                                                         std::uint64_t max_nodes) const {
+  std::uint64_t nodes = 0;
+  std::uint64_t pending = 1;  // live individuals awaiting expansion
+  while (pending > 0) {
+    ++nodes;
+    if (nodes >= max_nodes) return max_nodes;
+    --pending;
+    for (int child = 0; child < 2; ++child) {
+      if (bernoulli(rng, p_)) ++pending;
+    }
+  }
+  return nodes;
+}
+
+}  // namespace faultroute

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "random/rng.hpp"
+
+namespace faultroute {
+
+/// The binary Galton-Watson (branching) process with edge-retention
+/// probability p: each node independently keeps each of its 2 children with
+/// probability p.
+///
+/// This is the process behind the double binary tree results: an open branch
+/// in *both* trees of TT_n corresponds to a single tree with edge probability
+/// p^2, hence the root-connectivity threshold p = 1/sqrt(2) (Lemma 6), and
+/// the oracle router of Theorem 9 is a depth-first search of a supercritical
+/// GW tree whose dead branches have finite expected size.
+class BinaryGaltonWatson {
+ public:
+  /// Requires p in [0, 1].
+  explicit BinaryGaltonWatson(double p);
+
+  [[nodiscard]] double p() const { return p_; }
+
+  /// Exact survival probability of the infinite process:
+  /// 1 - e where e is the smallest fixed point of e = (1 - p + p*e)^2.
+  /// Zero for p <= 1/2.
+  [[nodiscard]] double survival_probability() const;
+
+  /// Probability that the tree restricted to `depth` levels reaches depth
+  /// `depth`, computed by exact backward recursion q_{k+1} = 1-(1-p q_k)^2.
+  [[nodiscard]] double reach_probability(int depth) const;
+
+  /// Simulates whether the process reaches the given depth.
+  [[nodiscard]] bool simulate_reaches(Rng& rng, int depth) const;
+
+  /// Simulates the total progeny truncated at `max_nodes` nodes
+  /// (returns max_nodes if the cap is hit, which for supercritical p
+  /// corresponds to survival with positive probability).
+  [[nodiscard]] std::uint64_t simulate_total_progeny(Rng& rng,
+                                                     std::uint64_t max_nodes) const;
+
+ private:
+  double p_;
+};
+
+}  // namespace faultroute

@@ -1,0 +1,43 @@
+#include "percolation/node_fault_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "random/splitmix64.hpp"
+
+namespace faultroute {
+
+NodeFaultSampler::NodeFaultSampler(const Topology& graph, double node_p, double edge_p,
+                                   std::uint64_t seed)
+    : graph_(graph),
+      node_p_(node_p),
+      edge_faults_(edge_p, mix64(seed ^ 0x1357fdb97531ecaULL)),
+      node_seed_(seed),
+      node_threshold_(0),
+      nodes_always_alive_(node_p >= 1.0),
+      nodes_always_dead_(node_p <= 0.0) {
+  if (std::isnan(node_p) || node_p < 0.0 || node_p > 1.0) {
+    throw std::invalid_argument("NodeFaultSampler: node_p must be in [0, 1]");
+  }
+  if (!nodes_always_alive_ && !nodes_always_dead_) {
+    node_threshold_ = static_cast<std::uint64_t>(std::ldexp(node_p, 64));
+  }
+}
+
+bool NodeFaultSampler::vertex_alive(VertexId v) const {
+  if (nodes_always_alive_) return true;
+  if (nodes_always_dead_) return false;
+  // Distinct hash domain from edges: xor with an odd tag before mixing.
+  return hash_pair(node_seed_ ^ 0x9d8a7b6c5d4e3f21ULL, v) < node_threshold_;
+}
+
+bool NodeFaultSampler::is_open(EdgeKey key) const {
+  const EdgeEndpoints ends = graph_.endpoints(key);
+  return vertex_alive(ends.a) && vertex_alive(ends.b) && edge_faults_.is_open(key);
+}
+
+double NodeFaultSampler::survival_probability() const {
+  return node_p_ * node_p_ * edge_faults_.survival_probability();
+}
+
+}  // namespace faultroute

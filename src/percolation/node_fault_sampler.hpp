@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/topology.hpp"
+#include "percolation/edge_sampler.hpp"
+
+namespace faultroute {
+
+/// Node-failure percolation, expressed in the edge-probe model.
+///
+/// The paper studies edge failures, but much of the emulation literature it
+/// cites (Hastad-Leighton-Newman on the hypercube, Cole-Maggs-Sitaraman on
+/// the butterfly) considers *node* failures. We model them compositionally:
+/// a vertex survives with probability `node_p` (hash-sampled), an edge with
+/// probability `edge_p`, and a *probe* of edge {a, b} answers "open" iff the
+/// edge and both endpoints survive. Probing stays O(1) and consistent
+/// (endpoints are re-derived from the canonical key via
+/// Topology::endpoints), so all routers and experiments work unchanged.
+///
+/// The induced edge states are positively correlated through shared
+/// endpoints — exactly the correlation structure of node percolation.
+class NodeFaultSampler final : public EdgeSampler {
+ public:
+  /// The topology must outlive the sampler. node_p / edge_p in [0, 1].
+  NodeFaultSampler(const Topology& graph, double node_p, double edge_p,
+                   std::uint64_t seed);
+
+  [[nodiscard]] bool is_open(EdgeKey key) const override;
+
+  /// Marginal open-probability of a single edge: node_p^2 * edge_p.
+  [[nodiscard]] double survival_probability() const override;
+
+  [[nodiscard]] bool vertex_alive(VertexId v) const;
+
+ private:
+  const Topology& graph_;
+  double node_p_;
+  HashEdgeSampler edge_faults_;
+  std::uint64_t node_seed_;
+  std::uint64_t node_threshold_;
+  bool nodes_always_alive_;
+  bool nodes_always_dead_;
+};
+
+}  // namespace faultroute

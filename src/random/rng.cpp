@@ -1,0 +1,30 @@
+#include "random/rng.hpp"
+
+#include <cassert>
+
+namespace faultroute {
+
+std::uint64_t uniform_below(Rng& rng, std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire 2019: multiply a 64-bit draw by the bound and keep the high word;
+  // reject draws falling in the biased low fringe.
+  while (true) {
+    const std::uint64_t x = rng();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const auto low = static_cast<std::uint64_t>(m);
+    if (low >= bound) return static_cast<std::uint64_t>(m >> 64);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+std::uint64_t geometric(Rng& rng, double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  // Inversion: floor(log(U) / log(1-p)) with U uniform in (0, 1).
+  double u = uniform_double(rng);
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace faultroute

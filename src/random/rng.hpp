@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "random/xoshiro256.hpp"
+
+namespace faultroute {
+
+/// Default sequential PRNG used throughout the library.
+using Rng = Xoshiro256PlusPlus;
+
+/// Maps a 64-bit word to the unit interval [0, 1) with 53-bit resolution.
+constexpr double to_unit_interval(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Draws a uniform double in [0, 1).
+template <typename Generator>
+double uniform_double(Generator& rng) {
+  return to_unit_interval(rng());
+}
+
+/// Draws a uniform integer in [0, bound) using Lemire's multiply-shift
+/// rejection method (unbiased). Requires bound > 0.
+std::uint64_t uniform_below(Rng& rng, std::uint64_t bound);
+
+/// Bernoulli(p) draw.
+template <typename Generator>
+bool bernoulli(Generator& rng, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double(rng) < p;
+}
+
+/// Geometric draw: number of failures before the first success of a
+/// Bernoulli(p) sequence, i.e. support {0, 1, 2, ...}. Requires p in (0, 1].
+std::uint64_t geometric(Rng& rng, double p);
+
+/// Derives the i-th child seed of a base seed. Children of distinct
+/// (base, index) pairs behave as independent seeds.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  return hash_pair(base, index ^ 0x517cc1b727220a95ULL);
+}
+
+}  // namespace faultroute

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+namespace faultroute {
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+///
+/// A tiny, fast, full-period generator over 64-bit state. We use it in two
+/// roles: (a) seeding larger generators (xoshiro256++) from a single 64-bit
+/// seed, and (b) as the stateless finalizer behind hash-based percolation
+/// (see mix64 below).
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Advances the state and returns the next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit finalizer (the SplitMix64 output function applied to x).
+/// Bijective on 64-bit values; passes avalanche tests. Used to derive
+/// independent-looking bits from structured inputs such as edge keys.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a seed and a key into a single well-mixed 64-bit value.
+///
+/// Two rounds of mix64 with an odd-multiplier pre-mix; this is the hash
+/// behind lazy percolation, so collisions across distinct (seed, key) pairs
+/// must behave like random ones (statistically verified in tests).
+constexpr std::uint64_t hash_pair(std::uint64_t seed, std::uint64_t key) noexcept {
+  return mix64(mix64(seed ^ 0x2545f4914f6cdd1dULL) ^ (key * 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace faultroute

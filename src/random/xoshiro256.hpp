@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "random/splitmix64.hpp"
+
+namespace faultroute {
+
+/// xoshiro256++ 1.0 (Blackman & Vigna 2019).
+///
+/// The workhorse sequential PRNG for simulations: 256-bit state, period
+/// 2^256 - 1, excellent statistical quality, ~1ns per draw. Seeded from a
+/// single 64-bit value via SplitMix64 as the authors recommend.
+class Xoshiro256PlusPlus {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256PlusPlus(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace faultroute

@@ -1,0 +1,39 @@
+#include "sim/options.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace faultroute::sim {
+
+int Options::trials_or(int full_default) const {
+  if (trials) return *trials;
+  if (quick) return std::max(5, full_default / 4);
+  return full_default;
+}
+
+std::optional<std::string> Options::csv_path(const std::string& table_name) const {
+  if (!csv_dir) return std::nullopt;
+  return *csv_dir + "/" + table_name + ".csv";
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      options.trials = std::stoi(arg.substr(9));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      options.csv_dir = arg.substr(6);
+    } else {
+      throw std::invalid_argument("unknown option: " + arg +
+                                  " (supported: --quick --trials=N --seed=S --csv=DIR)");
+    }
+  }
+  return options;
+}
+
+}  // namespace faultroute::sim

@@ -1,0 +1,134 @@
+#include "sim/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/routers/bidirectional_router.hpp"
+#include "core/routers/double_tree_routers.hpp"
+#include "core/routers/flood_router.hpp"
+#include "core/routers/gnp_routers.hpp"
+#include "core/routers/greedy_router.hpp"
+#include "core/routers/hybrid_router.hpp"
+#include "core/routers/landmark_router.hpp"
+#include "graph/butterfly.hpp"
+#include "graph/complete.hpp"
+#include "graph/cube_connected_cycles.hpp"
+#include "graph/cycle_matching.hpp"
+#include "graph/de_bruijn.hpp"
+#include "graph/double_tree.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/mesh.hpp"
+#include "graph/shuffle_exchange.hpp"
+
+namespace faultroute::sim {
+
+namespace {
+
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::istringstream stream(spec);
+  std::string token;
+  while (std::getline(stream, token, ':')) parts.push_back(token);
+  return parts;
+}
+
+std::int64_t parse_int(const std::string& token, const std::string& spec) {
+  try {
+    return std::stoll(token);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number '" + token + "' in topology spec '" + spec + "'");
+  }
+}
+
+void expect_arity(const std::vector<std::string>& parts, std::size_t lo, std::size_t hi,
+                  const std::string& spec) {
+  if (parts.size() < lo || parts.size() > hi) {
+    throw std::invalid_argument("wrong number of arguments in topology spec '" + spec + "'");
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(const std::string& spec) {
+  const auto parts = split_spec(spec);
+  if (parts.empty()) throw std::invalid_argument("empty topology spec");
+  const std::string& kind = parts[0];
+  if (kind == "hypercube") {
+    expect_arity(parts, 2, 2, spec);
+    return std::make_unique<Hypercube>(static_cast<int>(parse_int(parts[1], spec)));
+  }
+  if (kind == "mesh" || kind == "torus") {
+    expect_arity(parts, 3, 3, spec);
+    return std::make_unique<Mesh>(static_cast<int>(parse_int(parts[1], spec)),
+                                  parse_int(parts[2], spec), kind == "torus");
+  }
+  if (kind == "double_tree") {
+    expect_arity(parts, 2, 2, spec);
+    return std::make_unique<DoubleBinaryTree>(static_cast<int>(parse_int(parts[1], spec)));
+  }
+  if (kind == "complete") {
+    expect_arity(parts, 2, 2, spec);
+    return std::make_unique<CompleteGraph>(
+        static_cast<std::uint64_t>(parse_int(parts[1], spec)));
+  }
+  if (kind == "de_bruijn") {
+    expect_arity(parts, 2, 2, spec);
+    return std::make_unique<DeBruijn>(static_cast<int>(parse_int(parts[1], spec)));
+  }
+  if (kind == "shuffle_exchange") {
+    expect_arity(parts, 2, 2, spec);
+    return std::make_unique<ShuffleExchange>(static_cast<int>(parse_int(parts[1], spec)));
+  }
+  if (kind == "butterfly") {
+    expect_arity(parts, 2, 2, spec);
+    return std::make_unique<Butterfly>(static_cast<int>(parse_int(parts[1], spec)));
+  }
+  if (kind == "ccc") {
+    expect_arity(parts, 2, 2, spec);
+    return std::make_unique<CubeConnectedCycles>(
+        static_cast<int>(parse_int(parts[1], spec)));
+  }
+  if (kind == "cycle_matching") {
+    expect_arity(parts, 2, 3, spec);
+    const auto n = static_cast<std::uint64_t>(parse_int(parts[1], spec));
+    const std::uint64_t seed =
+        parts.size() == 3 ? static_cast<std::uint64_t>(parse_int(parts[2], spec)) : 1;
+    return std::make_unique<CycleWithMatching>(n, seed);
+  }
+  throw std::invalid_argument("unknown topology kind '" + kind + "' in spec '" + spec + "'");
+}
+
+std::unique_ptr<Router> make_router(const std::string& name, const Topology& topology) {
+  if (name == "flood") return std::make_unique<FloodRouter>();
+  if (name == "flood-target-first") return std::make_unique<FloodRouter>(true);
+  if (name == "landmark") return std::make_unique<LandmarkRouter>();
+  if (name == "greedy") return std::make_unique<GreedyDescentRouter>();
+  if (name == "best-first") return std::make_unique<BestFirstRouter>();
+  if (name == "hybrid") return std::make_unique<HybridGreedyRouter>();
+  if (name == "bidirectional") return std::make_unique<BidirectionalBfsRouter>();
+  if (name == "gnp-local") return std::make_unique<GnpLocalRouter>();
+  if (name == "gnp-oracle") return std::make_unique<GnpOracleRouter>();
+  if (name == "double-tree-local" || name == "double-tree-oracle") {
+    const auto* tree = dynamic_cast<const DoubleBinaryTree*>(&topology);
+    if (tree == nullptr) {
+      throw std::invalid_argument("router '" + name + "' requires a double_tree topology");
+    }
+    if (name == "double-tree-local") return std::make_unique<DoubleTreeLocalRouter>(*tree);
+    return std::make_unique<DoubleTreePairedOracleRouter>(*tree);
+  }
+  throw std::invalid_argument("unknown router '" + name + "'");
+}
+
+std::vector<std::string> topology_spec_examples() {
+  return {"hypercube:12",        "mesh:2:64",      "torus:3:16",   "double_tree:10",
+          "complete:500",        "de_bruijn:12",   "shuffle_exchange:12",
+          "butterfly:8",         "ccc:8",          "cycle_matching:4096:7"};
+}
+
+std::vector<std::string> router_names() {
+  return {"flood",        "flood-target-first", "landmark",          "greedy",
+          "best-first",   "hybrid",             "bidirectional",     "gnp-local",
+          "gnp-oracle",   "double-tree-local",  "double-tree-oracle"};
+}
+
+}  // namespace faultroute::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/router.hpp"
+#include "graph/topology.hpp"
+
+namespace faultroute::sim {
+
+/// String-spec factories for topologies and routers, used by the CLI tool
+/// and handy for config-driven experiments.
+///
+/// Topology specs (colon-separated):
+///   hypercube:<n>                  e.g. hypercube:12
+///   mesh:<d>:<side>                e.g. mesh:2:64
+///   torus:<d>:<side>               e.g. torus:3:16
+///   double_tree:<n>                e.g. double_tree:10
+///   complete:<n>                   e.g. complete:500
+///   de_bruijn:<k>                  e.g. de_bruijn:12
+///   shuffle_exchange:<k>           e.g. shuffle_exchange:12
+///   butterfly:<k>                  e.g. butterfly:8
+///   ccc:<k>                        e.g. ccc:8
+///   cycle_matching:<n>[:<seed>]    e.g. cycle_matching:4096:7
+///
+/// Router names:
+///   flood | flood-target-first | landmark | greedy | best-first | hybrid |
+///   bidirectional (oracle) | gnp-local | gnp-oracle |
+///   double-tree-local | double-tree-oracle
+/// (the double-tree and gnp routers require the matching topology).
+[[nodiscard]] std::unique_ptr<Topology> make_topology(const std::string& spec);
+
+/// `topology` is needed by routers bound to a concrete graph type
+/// (double-tree routers); it must outlive the returned router.
+[[nodiscard]] std::unique_ptr<Router> make_router(const std::string& name,
+                                                  const Topology& topology);
+
+/// The specs/names understood above, for help text.
+[[nodiscard]] std::vector<std::string> topology_spec_examples();
+[[nodiscard]] std::vector<std::string> router_names();
+
+}  // namespace faultroute::sim

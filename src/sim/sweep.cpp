@@ -1,0 +1,43 @@
+#include "sim/sweep.hpp"
+
+#include <stdexcept>
+
+namespace faultroute::sim {
+
+std::vector<double> linspace(double lo, double hi, int points) {
+  if (points < 2) throw std::invalid_argument("linspace: need >= 2 points");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double step = (hi - lo) / (points - 1);
+  for (int i = 0; i < points; ++i) out.push_back(lo + step * i);
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int points) {
+  if (lo <= 0.0 || hi <= 0.0) throw std::invalid_argument("logspace: bounds must be > 0");
+  if (points < 2) throw std::invalid_argument("logspace: need >= 2 points");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double llo = std::log(lo);
+  const double step = (std::log(hi) - llo) / (points - 1);
+  for (int i = 0; i < points; ++i) out.push_back(std::exp(llo + step * i));
+  return out;
+}
+
+std::vector<std::uint64_t> geometric_sizes(std::uint64_t start, double ratio,
+                                           std::uint64_t limit) {
+  if (start == 0 || ratio <= 1.0) {
+    throw std::invalid_argument("geometric_sizes: need start > 0 and ratio > 1");
+  }
+  std::vector<std::uint64_t> out;
+  double x = static_cast<double>(start);
+  while (true) {
+    const auto v = static_cast<std::uint64_t>(x + 0.5);
+    if (v > limit) break;
+    if (out.empty() || v != out.back()) out.push_back(v);
+    x *= ratio;
+  }
+  return out;
+}
+
+}  // namespace faultroute::sim

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace faultroute::sim {
+
+/// Evenly spaced values lo..hi inclusive.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, int points);
+
+/// Logarithmically spaced values lo..hi inclusive (lo, hi > 0).
+[[nodiscard]] std::vector<double> logspace(double lo, double hi, int points);
+
+/// The paper's hypercube parameterisation p = n^{-alpha}.
+[[nodiscard]] inline double p_for_alpha(int n, double alpha) {
+  return std::pow(static_cast<double>(n), -alpha);
+}
+
+/// Geometric integer ladder: start, start*ratio, ... capped at `limit`,
+/// rounded and deduplicated.
+[[nodiscard]] std::vector<std::uint64_t> geometric_sizes(std::uint64_t start,
+                                                         double ratio,
+                                                         std::uint64_t limit);
+
+}  // namespace faultroute::sim

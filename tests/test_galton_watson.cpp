@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "percolation/galton_watson.hpp"
+
+namespace faultroute {
+namespace {
+
+TEST(GaltonWatson, RejectsBadP) {
+  EXPECT_THROW(BinaryGaltonWatson(-0.1), std::invalid_argument);
+  EXPECT_THROW(BinaryGaltonWatson(1.5), std::invalid_argument);
+}
+
+TEST(GaltonWatson, SubcriticalNeverSurvives) {
+  EXPECT_DOUBLE_EQ(BinaryGaltonWatson(0.0).survival_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryGaltonWatson(0.3).survival_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryGaltonWatson(0.5).survival_probability(), 0.0);
+}
+
+TEST(GaltonWatson, SurvivalClosedFormKnownValues) {
+  // For binary GW with edge prob p, extinction e solves e = (1-p+pe)^2.
+  // At p = 1: e = 0. At p = 0.75: 9e^2 - 10e + 1 = 0 (x16) => e = 1/9.
+  EXPECT_NEAR(BinaryGaltonWatson(1.0).survival_probability(), 1.0, 1e-12);
+  EXPECT_NEAR(BinaryGaltonWatson(0.75).survival_probability(), 1.0 - 1.0 / 9.0, 1e-9);
+}
+
+TEST(GaltonWatson, SurvivalIsMonotoneInP) {
+  double prev = 0.0;
+  for (double p = 0.5; p <= 1.0; p += 0.05) {
+    const double s = BinaryGaltonWatson(p).survival_probability();
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(GaltonWatson, ReachProbabilityDecreasesWithDepth) {
+  const BinaryGaltonWatson gw(0.6);
+  double prev = 1.0;
+  for (int depth = 1; depth <= 30; ++depth) {
+    const double q = gw.reach_probability(depth);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(GaltonWatson, ReachProbabilityConvergesToSurvival) {
+  for (const double p : {0.55, 0.71, 0.9}) {
+    const BinaryGaltonWatson gw(p);
+    EXPECT_NEAR(gw.reach_probability(500), gw.survival_probability(), 1e-6) << p;
+  }
+}
+
+TEST(GaltonWatson, SubcriticalReachDecaysExponentially) {
+  const BinaryGaltonWatson gw(0.4);  // mean offspring 0.8
+  // q_k ~ C * (2p)^k.
+  const double ratio = gw.reach_probability(30) / gw.reach_probability(29);
+  EXPECT_NEAR(ratio, 0.8, 0.02);
+}
+
+TEST(GaltonWatson, SimulationMatchesReachProbability) {
+  const BinaryGaltonWatson gw(0.65);
+  const int depth = 12;
+  Rng rng(1000);
+  const int trials = 20000;
+  int reached = 0;
+  for (int t = 0; t < trials; ++t) {
+    reached += gw.simulate_reaches(rng, depth) ? 1 : 0;
+  }
+  const Interval ci = wilson_interval(static_cast<std::uint64_t>(reached),
+                                      static_cast<std::uint64_t>(trials), 4.0);
+  EXPECT_TRUE(ci.contains(gw.reach_probability(depth)))
+      << "sim=" << static_cast<double>(reached) / trials
+      << " exact=" << gw.reach_probability(depth);
+}
+
+TEST(GaltonWatson, SubcriticalProgenyMeanMatches) {
+  // E[total progeny] = 1 / (1 - 2p) for 2p < 1.
+  const double p = 0.3;
+  const BinaryGaltonWatson gw(p);
+  Rng rng(2000);
+  double total = 0;
+  const int trials = 50000;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(gw.simulate_total_progeny(rng, 1 << 20));
+  }
+  EXPECT_NEAR(total / trials, 1.0 / (1.0 - 2.0 * p), 0.1);
+}
+
+TEST(GaltonWatson, SupercriticalProgenyHitsCap) {
+  const BinaryGaltonWatson gw(0.9);
+  Rng rng(3000);
+  int capped = 0;
+  const int trials = 2000;
+  const std::uint64_t cap = 4096;
+  for (int t = 0; t < trials; ++t) {
+    if (gw.simulate_total_progeny(rng, cap) == cap) ++capped;
+  }
+  // Should cap roughly survival_probability() of the time.
+  const double rate = static_cast<double>(capped) / trials;
+  EXPECT_NEAR(rate, gw.survival_probability(), 0.05);
+}
+
+TEST(GaltonWatson, ThresholdIsHalf) {
+  // Survival is 0 at p slightly below 1/2 and positive slightly above.
+  EXPECT_DOUBLE_EQ(BinaryGaltonWatson(0.49).survival_probability(), 0.0);
+  EXPECT_GT(BinaryGaltonWatson(0.51).survival_probability(), 0.0);
+}
+
+class GwReachSimulationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GwReachSimulationTest, SimAgreesWithRecursion) {
+  const double p = GetParam();
+  const BinaryGaltonWatson gw(p);
+  const int depth = 8;
+  Rng rng(static_cast<std::uint64_t>(p * 1e6));
+  const int trials = 8000;
+  int reached = 0;
+  for (int t = 0; t < trials; ++t) reached += gw.simulate_reaches(rng, depth) ? 1 : 0;
+  const Interval ci = wilson_interval(static_cast<std::uint64_t>(reached),
+                                      static_cast<std::uint64_t>(trials), 4.0);
+  EXPECT_TRUE(ci.contains(gw.reach_probability(depth)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, GwReachSimulationTest,
+                         ::testing::Values(0.2, 0.4, 0.5, 0.6, 0.7071, 0.85, 0.95));
+
+}  // namespace
+}  // namespace faultroute

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/butterfly.hpp"
+#include "graph/complete.hpp"
+#include "graph/cycle_matching.hpp"
+#include "graph/de_bruijn.hpp"
+#include "graph/explicit_graph.hpp"
+#include "graph/shuffle_exchange.hpp"
+#include "helpers/topology_checks.hpp"
+
+namespace faultroute {
+namespace {
+
+// ---------------------------------------------------------------- Complete
+
+TEST(CompleteGraph, CountsAndDegrees) {
+  const CompleteGraph g(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(CompleteGraph, NeighborEnumerationSkipsSelf) {
+  const CompleteGraph g(5);
+  EXPECT_EQ(g.neighbor(2, 0), 0u);
+  EXPECT_EQ(g.neighbor(2, 1), 1u);
+  EXPECT_EQ(g.neighbor(2, 2), 3u);
+  EXPECT_EQ(g.neighbor(2, 3), 4u);
+}
+
+TEST(CompleteGraph, IndexOfIsInverseOfNeighbor) {
+  const CompleteGraph g(9);
+  for (VertexId v = 0; v < 9; ++v) {
+    for (int i = 0; i < g.degree(v); ++i) {
+      EXPECT_EQ(g.index_of(v, g.neighbor(v, i)), i);
+    }
+  }
+}
+
+TEST(CompleteGraph, StructuralInvariants) {
+  faultroute::testing::check_topology_invariants(CompleteGraph(2));
+  faultroute::testing::check_topology_invariants(CompleteGraph(7));
+}
+
+TEST(CompleteGraph, DistanceIsZeroOrOne) {
+  const CompleteGraph g(4);
+  EXPECT_EQ(g.distance(1, 1), 0u);
+  EXPECT_EQ(g.distance(1, 3), 1u);
+  faultroute::testing::check_shortest_path(g, {{0, 3}, {2, 2}});
+}
+
+// ---------------------------------------------------------------- De Bruijn
+
+TEST(DeBruijn, DegreesAreAtMostFour) {
+  const DeBruijn g(4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 1);
+    EXPECT_LE(g.degree(v), 4);
+  }
+}
+
+TEST(DeBruijn, ShiftNeighborsArePresent) {
+  const DeBruijn g(4);  // 16 vertices
+  // 5 = 0101 -> shifts 1010 (=10) and 1011 (=11); back-shifts 0010, 1010.
+  const VertexId v = 5;
+  bool has10 = false;
+  bool has2 = false;
+  for (int i = 0; i < g.degree(v); ++i) {
+    if (g.neighbor(v, i) == 10) has10 = true;
+    if (g.neighbor(v, i) == 2) has2 = true;
+  }
+  EXPECT_TRUE(has10);
+  EXPECT_TRUE(has2);
+}
+
+TEST(DeBruijn, StructuralInvariants) {
+  for (const int k : {2, 3, 4, 6}) {
+    SCOPED_TRACE(k);
+    faultroute::testing::check_topology_invariants(DeBruijn(k));
+  }
+}
+
+TEST(DeBruijn, DiameterIsAtMostOrder) {
+  // In the directed DB graph any vertex is reachable in k shifts; the
+  // undirected version can only be shorter.
+  const DeBruijn g(5);
+  EXPECT_LE(g.distance(0, g.num_vertices() - 1), 5u);
+  EXPECT_LE(g.distance(7, 21), 5u);
+}
+
+// ---------------------------------------------------------- ShuffleExchange
+
+TEST(ShuffleExchange, DegreesAreAtMostThree) {
+  const ShuffleExchange g(4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 1);
+    EXPECT_LE(g.degree(v), 3);
+  }
+}
+
+TEST(ShuffleExchange, RotationsAreInverse) {
+  const ShuffleExchange g(5);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.rotate_right(g.rotate_left(v)), v);
+    EXPECT_EQ(g.rotate_left(g.rotate_right(v)), v);
+  }
+}
+
+TEST(ShuffleExchange, ExchangeNeighborPresent) {
+  const ShuffleExchange g(4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(edge_index_of(g, v, v ^ 1ULL), 0);
+  }
+}
+
+TEST(ShuffleExchange, StructuralInvariants) {
+  for (const int k : {2, 3, 4, 6}) {
+    SCOPED_TRACE(k);
+    faultroute::testing::check_topology_invariants(ShuffleExchange(k));
+  }
+}
+
+// ----------------------------------------------------------------- Butterfly
+
+TEST(Butterfly, CountsAreExact) {
+  const Butterfly g(3);
+  EXPECT_EQ(g.num_vertices(), 3u * 8u);
+  EXPECT_EQ(g.num_edges(), 2u * 3u * 8u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Butterfly, LevelRowRoundTrip) {
+  const Butterfly g(4);
+  for (int level = 0; level < 4; ++level) {
+    for (std::uint64_t row = 0; row < g.rows(); row += 5) {
+      const VertexId v = g.vertex_at(level, row);
+      EXPECT_EQ(g.level_of(v), level);
+      EXPECT_EQ(g.row_of(v), row);
+    }
+  }
+}
+
+TEST(Butterfly, UpEdgesFlipTheLevelBit) {
+  const Butterfly g(3);
+  const VertexId v = g.vertex_at(1, 0b010);
+  EXPECT_EQ(g.neighbor(v, 0), g.vertex_at(2, 0b010));          // straight
+  EXPECT_EQ(g.neighbor(v, 1), g.vertex_at(2, 0b010 ^ 0b010));  // cross flips bit 1
+}
+
+TEST(Butterfly, StructuralInvariants) {
+  // k = 2 is a multigraph (wrap-around parallel edges) and must still
+  // satisfy the pairing invariants; k >= 3 is simple.
+  for (const int k : {2, 3, 4}) {
+    SCOPED_TRACE(k);
+    faultroute::testing::check_topology_invariants(Butterfly(k));
+  }
+}
+
+TEST(Butterfly, WrapAroundConnectsTopToBottom) {
+  const Butterfly g(3);
+  const VertexId top = g.vertex_at(2, 5);
+  const VertexId bottom = g.vertex_at(0, 5);
+  EXPECT_GE(edge_index_of(g, top, bottom), 0);
+}
+
+// ----------------------------------------------------------- CycleMatching
+
+TEST(CycleMatching, RejectsBadSizes) {
+  EXPECT_THROW(CycleWithMatching(3, 1), std::invalid_argument);
+  EXPECT_THROW(CycleWithMatching(2, 1), std::invalid_argument);
+  EXPECT_NO_THROW(CycleWithMatching(4, 1));
+}
+
+TEST(CycleMatching, MatchingIsAnInvolutionWithoutFixedPoints) {
+  const CycleWithMatching g(64, 7);
+  for (VertexId v = 0; v < 64; ++v) {
+    EXPECT_NE(g.partner(v), v);
+    EXPECT_EQ(g.partner(g.partner(v)), v);
+  }
+}
+
+TEST(CycleMatching, DeterministicPerSeed) {
+  const CycleWithMatching a(32, 11);
+  const CycleWithMatching b(32, 11);
+  const CycleWithMatching c(32, 12);
+  int diffs = 0;
+  for (VertexId v = 0; v < 32; ++v) {
+    EXPECT_EQ(a.partner(v), b.partner(v));
+    if (a.partner(v) != c.partner(v)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(CycleMatching, StructuralInvariants) {
+  for (const std::uint64_t n : {4ULL, 10ULL, 64ULL}) {
+    SCOPED_TRACE(n);
+    faultroute::testing::check_topology_invariants(CycleWithMatching(n, 3));
+  }
+}
+
+TEST(CycleMatching, DiameterIsLogarithmic) {
+  // Bollobas-Chung: diameter ~ log2 n. Allow a generous constant.
+  const CycleWithMatching g(1024, 5);
+  std::uint64_t max_dist = 0;
+  for (VertexId v = 0; v < 1024; v += 97) {
+    max_dist = std::max(max_dist, g.distance(0, v));
+  }
+  EXPECT_LE(max_dist, 30u);
+}
+
+// ----------------------------------------------------------- ExplicitGraph
+
+TEST(ExplicitGraph, BuildsFromEdgeList) {
+  const ExplicitGraph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.distance(0, 2), 2u);
+}
+
+TEST(ExplicitGraph, RejectsBadEdges) {
+  EXPECT_THROW(ExplicitGraph(2, {{0, 2}}), std::invalid_argument);
+  EXPECT_THROW(ExplicitGraph(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(ExplicitGraph, SupportsParallelEdges) {
+  const ExplicitGraph g(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_NE(g.edge_key(0, 0), g.edge_key(0, 1));
+  faultroute::testing::check_topology_invariants(g);
+}
+
+TEST(ExplicitGraph, StructuralInvariants) {
+  const ExplicitGraph g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}});
+  faultroute::testing::check_topology_invariants(g);
+  faultroute::testing::check_shortest_path(g, {{0, 3}, {1, 4}});
+}
+
+// ------------------------------------------------- Polymorphic family sweep
+
+std::vector<std::shared_ptr<Topology>> small_family() {
+  return {
+      std::make_shared<CompleteGraph>(6),
+      std::make_shared<DeBruijn>(4),
+      std::make_shared<ShuffleExchange>(4),
+      std::make_shared<Butterfly>(3),
+      std::make_shared<CycleWithMatching>(16, 9),
+  };
+}
+
+class FamilyInvariantTest
+    : public ::testing::TestWithParam<std::shared_ptr<Topology>> {};
+
+TEST_P(FamilyInvariantTest, AdjacencyAndKeys) {
+  faultroute::testing::check_topology_invariants(*GetParam());
+}
+
+TEST_P(FamilyInvariantTest, DefaultDistanceIsSymmetric) {
+  const Topology& g = *GetParam();
+  const VertexId a = 0;
+  const VertexId b = g.num_vertices() / 2;
+  EXPECT_EQ(g.distance(a, b), g.distance(b, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyInvariantTest,
+                         ::testing::ValuesIn(small_family()));
+
+}  // namespace
+}  // namespace faultroute

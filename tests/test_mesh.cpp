@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/mesh.hpp"
+#include "helpers/topology_checks.hpp"
+
+namespace faultroute {
+namespace {
+
+TEST(Mesh, RejectsBadParameters) {
+  EXPECT_THROW(Mesh(0, 4), std::invalid_argument);
+  EXPECT_THROW(Mesh(9, 4), std::invalid_argument);
+  EXPECT_THROW(Mesh(2, 1), std::invalid_argument);
+  EXPECT_THROW(Mesh(2, 2, /*wrap=*/true), std::invalid_argument);  // parallel edges
+  EXPECT_NO_THROW(Mesh(2, 2, /*wrap=*/false));
+  EXPECT_NO_THROW(Mesh(3, 3, /*wrap=*/true));
+}
+
+TEST(Mesh, CountsAreExact) {
+  const Mesh g(2, 4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 2u * 4u * 3u);  // 2 axes * 4 lines * 3 edges each
+  const Mesh t(2, 4, /*wrap=*/true);
+  EXPECT_EQ(t.num_edges(), 2u * 4u * 4u);
+}
+
+TEST(Mesh, CoordinateRoundTrip) {
+  const Mesh g(3, 5);
+  for (VertexId v = 0; v < g.num_vertices(); v += 11) {
+    EXPECT_EQ(g.vertex_at(g.coords_of(v)), v);
+  }
+}
+
+TEST(Mesh, CornerAndInteriorDegrees) {
+  const Mesh g(2, 4);
+  EXPECT_EQ(g.degree(g.vertex_at({0, 0})), 2);    // corner
+  EXPECT_EQ(g.degree(g.vertex_at({1, 0})), 3);    // boundary
+  EXPECT_EQ(g.degree(g.vertex_at({1, 1})), 4);    // interior
+  const Mesh t(2, 4, /*wrap=*/true);
+  for (VertexId v = 0; v < t.num_vertices(); ++v) EXPECT_EQ(t.degree(v), 4);
+}
+
+TEST(Mesh, DistanceIsL1) {
+  const Mesh g(2, 10);
+  EXPECT_EQ(g.distance(g.vertex_at({0, 0}), g.vertex_at({3, 4})), 7u);
+  EXPECT_EQ(g.distance(g.vertex_at({9, 9}), g.vertex_at({9, 9})), 0u);
+}
+
+TEST(Mesh, TorusDistanceWraps) {
+  const Mesh t(1, 10, /*wrap=*/true);
+  EXPECT_EQ(t.distance(0, 9), 1u);
+  EXPECT_EQ(t.distance(0, 5), 5u);
+  const Mesh t2(2, 8, /*wrap=*/true);
+  EXPECT_EQ(t2.distance(t2.vertex_at({0, 0}), t2.vertex_at({7, 7})), 2u);
+}
+
+TEST(Mesh, StructuralInvariants) {
+  faultroute::testing::check_topology_invariants(Mesh(1, 6));
+  faultroute::testing::check_topology_invariants(Mesh(2, 5));
+  faultroute::testing::check_topology_invariants(Mesh(3, 3));
+  faultroute::testing::check_topology_invariants(Mesh(2, 5, /*wrap=*/true));
+  faultroute::testing::check_topology_invariants(Mesh(3, 3, /*wrap=*/true));
+  faultroute::testing::check_topology_invariants(Mesh(4, 3));
+}
+
+TEST(Mesh, DistanceAgreesWithBfs) {
+  const Mesh g(2, 6);
+  faultroute::testing::check_distance_against_bfs(
+      g, {{0, 35}, {0, 0}, {7, 28}, {5, 30}});
+  const Mesh t(2, 5, /*wrap=*/true);
+  faultroute::testing::check_distance_against_bfs(t, {{0, 24}, {0, 12}, {3, 20}});
+}
+
+TEST(Mesh, ShortestPathsAreValid) {
+  const Mesh g(3, 4);
+  faultroute::testing::check_shortest_path(g, {{0, 63}, {5, 5}, {1, 62}});
+  const Mesh t(2, 7, /*wrap=*/true);
+  faultroute::testing::check_shortest_path(t, {{0, 48}, {0, 6}, {10, 40}});
+}
+
+TEST(Mesh, LabelsShowCoordinates) {
+  const Mesh g(2, 4);
+  EXPECT_EQ(g.vertex_label(g.vertex_at({3, 1})), "(3,1)");
+}
+
+TEST(Mesh, HugeMeshIsImplicit) {
+  // 2^60-ish vertices, still O(1) adjacency.
+  const Mesh g(4, 32768);
+  const VertexId v = g.vertex_at({5, 7, 11, 13});
+  EXPECT_EQ(g.coords_of(v)[2], 11);
+  EXPECT_EQ(g.distance(0, v), 5u + 7u + 11u + 13u);
+}
+
+struct MeshCase {
+  int dim;
+  std::int64_t side;
+  bool wrap;
+};
+
+class MeshPropertyTest : public ::testing::TestWithParam<MeshCase> {};
+
+TEST_P(MeshPropertyTest, Invariants) {
+  const auto& c = GetParam();
+  const Mesh g(c.dim, c.side, c.wrap);
+  faultroute::testing::check_topology_invariants(g);
+}
+
+TEST_P(MeshPropertyTest, PathBetweenOppositeCorners) {
+  const auto& c = GetParam();
+  const Mesh g(c.dim, c.side, c.wrap);
+  faultroute::testing::check_shortest_path(g, {{0, g.num_vertices() - 1}});
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshPropertyTest,
+                         ::testing::Values(MeshCase{1, 9, false}, MeshCase{1, 9, true},
+                                           MeshCase{2, 3, false}, MeshCase{2, 3, true},
+                                           MeshCase{2, 8, false}, MeshCase{3, 4, false},
+                                           MeshCase{3, 4, true}, MeshCase{4, 3, true}));
+
+}  // namespace
+}  // namespace faultroute

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/path.hpp"
+#include "core/probe_context.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/mesh.hpp"
+#include "percolation/edge_sampler.hpp"
+
+namespace faultroute {
+namespace {
+
+// ------------------------------------------------------------- ProbeContext
+
+TEST(ProbeContext, CountsDistinctAndTotalSeparately) {
+  const Hypercube g(4);
+  const HashEdgeSampler s(1.0, 1);
+  ProbeContext ctx(g, s, 0, RoutingMode::kLocal);
+  EXPECT_EQ(ctx.distinct_probes(), 0u);
+  ctx.probe(0, 0);
+  ctx.probe(0, 0);
+  ctx.probe(0, 1);
+  EXPECT_EQ(ctx.distinct_probes(), 2u);
+  EXPECT_EQ(ctx.total_probes(), 3u);
+}
+
+TEST(ProbeContext, MemoisesAnswers) {
+  const Hypercube g(5);
+  const HashEdgeSampler s(0.5, 42);
+  ProbeContext ctx(g, s, 0, RoutingMode::kOracle);
+  for (int i = 0; i < 5; ++i) {
+    const bool first = ctx.probe(0, i);
+    EXPECT_EQ(ctx.probe(0, i), first);
+    EXPECT_EQ(first, s.is_open(g.edge_key(0, i)));
+  }
+}
+
+TEST(ProbeContext, ProbeAgreesAcrossEndpoints) {
+  // Probing the same physical edge from either endpoint is one distinct edge.
+  const Hypercube g(4);
+  const HashEdgeSampler s(1.0, 9);
+  ProbeContext ctx(g, s, 0, RoutingMode::kOracle);
+  ctx.probe(0, 0);               // edge 0 - 1
+  ctx.probe(1, 0);               // same edge from the other side
+  EXPECT_EQ(ctx.distinct_probes(), 1u);
+}
+
+TEST(ProbeContext, LocalModeTracksReachedSet) {
+  const Hypercube g(3);
+  ExplicitEdgeSampler s(false);
+  s.set(g.edge_key(0, 0), true);  // 0 - 1 open
+  ProbeContext ctx(g, s, 0, RoutingMode::kLocal);
+  EXPECT_TRUE(ctx.is_reached(0));
+  EXPECT_FALSE(ctx.is_reached(1));
+  EXPECT_TRUE(ctx.probe(0, 0));
+  EXPECT_TRUE(ctx.is_reached(1));
+  EXPECT_FALSE(ctx.probe(0, 1));   // closed edge
+  EXPECT_FALSE(ctx.is_reached(2));
+}
+
+TEST(ProbeContext, LocalModeRejectsNonIncidentProbes) {
+  const Hypercube g(4);
+  const HashEdgeSampler s(1.0, 1);
+  ProbeContext ctx(g, s, 0, RoutingMode::kLocal);
+  // Vertex 12 is far from the source 0 with nothing probed yet.
+  EXPECT_THROW(ctx.probe(12, 0), LocalityViolation);
+  // Edges at the source are fine, and extend the reach.
+  EXPECT_TRUE(ctx.probe(0, 2));  // reaches 4
+  EXPECT_NO_THROW(ctx.probe(4, 0));
+}
+
+TEST(ProbeContext, LocalProbeFromFarEndpointTowardsReachedIsAllowed) {
+  // Definition 1 allows probing any edge with an endpoint on the reached
+  // set, regardless of which endpoint names the edge.
+  const Hypercube g(3);
+  const HashEdgeSampler s(1.0, 1);
+  ProbeContext ctx(g, s, 0, RoutingMode::kLocal);
+  // Edge 1-0 probed from vertex 1 (unreached) is incident to reached 0.
+  EXPECT_NO_THROW(ctx.probe(1, 0));
+  EXPECT_TRUE(ctx.is_reached(1));
+}
+
+TEST(ProbeContext, ClosedProbesDoNotExtendReach) {
+  const Hypercube g(3);
+  ExplicitEdgeSampler s(false);
+  ProbeContext ctx(g, s, 0, RoutingMode::kLocal);
+  EXPECT_FALSE(ctx.probe(0, 0));
+  EXPECT_FALSE(ctx.is_reached(1));
+  EXPECT_THROW(ctx.probe(1, 1), LocalityViolation);  // 1 is still unreached
+}
+
+TEST(ProbeContext, OracleModeAllowsAnyProbe) {
+  const Hypercube g(4);
+  const HashEdgeSampler s(0.5, 3);
+  ProbeContext ctx(g, s, 0, RoutingMode::kOracle);
+  EXPECT_NO_THROW(ctx.probe(9, 1));
+  EXPECT_NO_THROW(ctx.probe(15, 3));
+  EXPECT_TRUE(ctx.is_reached(9));  // trivially true in oracle mode
+}
+
+TEST(ProbeContext, BudgetCountsDistinctEdgesOnly) {
+  const Hypercube g(4);
+  const HashEdgeSampler s(1.0, 1);
+  ProbeContext ctx(g, s, 0, RoutingMode::kOracle, /*budget=*/2);
+  ctx.probe(0, 0);
+  ctx.probe(0, 0);  // memoised, free
+  ctx.probe(0, 1);
+  EXPECT_EQ(ctx.remaining_budget(), 0u);
+  EXPECT_THROW(ctx.probe(0, 2), ProbeBudgetExceeded);
+  // Memoised probes still succeed after exhaustion.
+  EXPECT_NO_THROW(ctx.probe(0, 0));
+}
+
+TEST(ProbeContext, ProbeBetweenFindsTheEdge) {
+  const Mesh g(2, 4);
+  const HashEdgeSampler s(1.0, 1);
+  ProbeContext ctx(g, s, 0, RoutingMode::kLocal);
+  EXPECT_TRUE(ctx.probe_between(0, 1));
+  EXPECT_THROW(ctx.probe_between(0, 5), std::invalid_argument);  // diagonal
+}
+
+// ------------------------------------------------------------------- Path
+
+TEST(Path, ValidOpenPathAccepts) {
+  const Hypercube g(3);
+  const HashEdgeSampler s(1.0, 1);
+  EXPECT_TRUE(is_valid_open_path(g, s, {0, 1, 3, 7}, 0, 7));
+  EXPECT_TRUE(is_valid_open_path(g, s, {5}, 5, 5));
+}
+
+TEST(Path, RejectsWrongEndpointsOrGaps) {
+  const Hypercube g(3);
+  const HashEdgeSampler s(1.0, 1);
+  EXPECT_FALSE(is_valid_open_path(g, s, {}, 0, 0));
+  EXPECT_FALSE(is_valid_open_path(g, s, {0, 1}, 0, 7));
+  EXPECT_FALSE(is_valid_open_path(g, s, {0, 3}, 0, 3));  // not adjacent
+}
+
+TEST(Path, RejectsClosedEdges) {
+  const Hypercube g(3);
+  ExplicitEdgeSampler s(true);
+  s.set(g.edge_key(1, edge_index_of(g, 1, 3)), false);
+  EXPECT_FALSE(is_valid_open_path(g, s, {0, 1, 3}, 0, 3));
+  EXPECT_TRUE(is_valid_open_path(g, s, {0, 2, 3}, 0, 3));
+}
+
+TEST(Path, SimplifyRemovesLoops) {
+  EXPECT_EQ(simplify_walk({1, 2, 3, 2, 4}), (Path{1, 2, 4}));
+  EXPECT_EQ(simplify_walk({1, 2, 1, 2, 3}), (Path{1, 2, 3}));
+  EXPECT_EQ(simplify_walk({7}), (Path{7}));
+  EXPECT_EQ(simplify_walk({}), (Path{}));
+  EXPECT_EQ(simplify_walk({1, 2, 3}), (Path{1, 2, 3}));
+}
+
+TEST(Path, SimplifyKeepsEndpointsAndAdjacency) {
+  // A messy walk on the hypercube simplifies to a valid simple path.
+  const Hypercube g(3);
+  const Path walk = {0, 1, 0, 2, 6, 2, 3, 7};
+  const Path simple = simplify_walk(walk);
+  EXPECT_EQ(simple.front(), 0u);
+  EXPECT_EQ(simple.back(), 7u);
+  for (std::size_t i = 0; i + 1 < simple.size(); ++i) {
+    EXPECT_GE(edge_index_of(g, simple[i], simple[i + 1]), 0);
+  }
+  // No repeats.
+  Path sorted = simple;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Path, LengthCounts) {
+  EXPECT_EQ(path_length({}), 0u);
+  EXPECT_EQ(path_length({3}), 0u);
+  EXPECT_EQ(path_length({3, 4, 5}), 2u);
+}
+
+}  // namespace
+}  // namespace faultroute

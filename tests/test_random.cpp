@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "random/rng.hpp"
+#include "random/splitmix64.hpp"
+#include "random/xoshiro256.hpp"
+
+namespace faultroute {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference outputs for seed 1234567 from the public-domain C reference
+  // implementation by Sebastiano Vigna.
+  SplitMix64 rng(1234567);
+  EXPECT_EQ(rng.next(), 6457827717110365317ULL);
+  EXPECT_EQ(rng.next(), 3203168211198807973ULL);
+  EXPECT_EQ(rng.next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(99);
+  SplitMix64 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DistinctSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Mix64, IsBijectiveOnSample) {
+  // A finalizer must not collide on a large sample of structured inputs.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 100000; ++x) outputs.insert(mix64(x));
+  EXPECT_EQ(outputs.size(), 100000u);
+}
+
+TEST(Mix64, Avalanche) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  double total_flips = 0;
+  int cases = 0;
+  for (std::uint64_t x = 1; x < 1000; ++x) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      const std::uint64_t delta = mix64(x) ^ mix64(x ^ (1ULL << bit));
+      total_flips += std::popcount(delta);
+      ++cases;
+    }
+  }
+  const double mean_flips = total_flips / cases;
+  EXPECT_NEAR(mean_flips, 32.0, 1.0);
+}
+
+TEST(HashPair, SeedAndKeyBothMatter) {
+  EXPECT_NE(hash_pair(1, 1), hash_pair(1, 2));
+  EXPECT_NE(hash_pair(1, 1), hash_pair(2, 1));
+  EXPECT_EQ(hash_pair(7, 42), hash_pair(7, 42));
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256PlusPlus a(2024);
+  Xoshiro256PlusPlus b(2024);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, PassesEquidistributionSmokeTest) {
+  // Chi-square over 16 buckets of the top nibble.
+  Xoshiro256PlusPlus rng(5);
+  std::array<int, 16> buckets{};
+  const int draws = 160000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.next() >> 60];
+  const double expected = draws / 16.0;
+  double chi2 = 0;
+  for (const int b : buckets) chi2 += (b - expected) * (b - expected) / expected;
+  // 15 degrees of freedom; 99.9th percentile is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(UniformDouble, InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform_double(rng);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformDouble, MeanIsHalf) {
+  Rng rng(4);
+  double total = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) total += uniform_double(rng);
+  EXPECT_NEAR(total / draws, 0.5, 0.005);
+}
+
+TEST(UniformBelow, RespectsBound) {
+  Rng rng(6);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(uniform_below(rng, bound), bound);
+  }
+}
+
+TEST(UniformBelow, CoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(uniform_below(rng, 7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Bernoulli, EdgeCases) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bernoulli(rng, 0.0));
+    EXPECT_TRUE(bernoulli(rng, 1.0));
+  }
+}
+
+TEST(Bernoulli, FrequencyMatchesP) {
+  Rng rng(9);
+  const double p = 0.3;
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += bernoulli(rng, p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / draws, p, 0.01);
+}
+
+TEST(Geometric, MeanMatchesClosedForm) {
+  Rng rng(10);
+  const double p = 0.25;
+  double total = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) total += static_cast<double>(geometric(rng, p));
+  // E[failures before first success] = (1-p)/p = 3.
+  EXPECT_NEAR(total / draws, 3.0, 0.1);
+}
+
+TEST(Geometric, PEqualsOneIsZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geometric(rng, 1.0), 0u);
+}
+
+TEST(DeriveSeed, ChildrenAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 10000; ++i) seeds.insert(derive_seed(42, i));
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(DeriveSeed, BasesAreIndependent) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(5, 3), derive_seed(5, 3));
+}
+
+}  // namespace
+}  // namespace faultroute

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/theory.hpp"
+
+namespace faultroute {
+namespace {
+
+TEST(Theory, Lemma5BoundClampsAndScales) {
+  EXPECT_DOUBLE_EQ(theory::lemma5_bound(10, 0.01, 0.0, 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(theory::lemma5_bound(10, 0.01, 0.05, 0.5), 0.3);
+  EXPECT_DOUBLE_EQ(theory::lemma5_bound(1e9, 0.01, 0.0, 1.0), 1.0);  // clamp
+  EXPECT_THROW((void)theory::lemma5_bound(1, 0.1, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Theory, EtaLeadingTermMatchesFormula) {
+  // l! p^l for l = 3, p = 0.1: 6e-3.
+  EXPECT_NEAR(theory::hypercube_eta_leading(0.1, 3), 6e-3, 1e-12);
+  EXPECT_NEAR(theory::hypercube_eta_leading(0.5, 1), 0.5, 1e-12);
+}
+
+TEST(Theory, EtaFullBoundDivergesWhenSeriesDoes) {
+  // n l^2 p^2 >= 1 => +inf.
+  EXPECT_TRUE(std::isinf(theory::hypercube_eta_bound(100, 0.2, 3)));
+  // Convergent case: n = 16, p = 0.05, l = 2 -> ratio 0.16.
+  const double bound = theory::hypercube_eta_bound(16, 0.05, 2);
+  EXPECT_NEAR(bound, 2 * 0.05 * 0.05 / (1 - 16 * 4 * 0.0025), 1e-12);
+}
+
+TEST(Theory, HypercubeThresholdOrdering) {
+  // giant threshold << routing threshold << connectivity threshold.
+  const int n = 16;
+  EXPECT_LT(theory::hypercube_giant_threshold(n), theory::hypercube_routing_threshold(n));
+  EXPECT_LT(theory::hypercube_routing_threshold(n),
+            theory::hypercube_connectivity_threshold());
+  EXPECT_DOUBLE_EQ(theory::hypercube_routing_threshold(16), 0.25);
+  EXPECT_DOUBLE_EQ(theory::hypercube_giant_threshold(16), 1.0 / 16.0);
+}
+
+TEST(Theory, MeshCriticalValues) {
+  EXPECT_DOUBLE_EQ(theory::mesh_critical_probability(2), 0.5);
+  EXPECT_NEAR(theory::mesh_critical_probability(3), 0.2488, 1e-9);
+  // Decreasing in dimension.
+  for (int d = 2; d < 6; ++d) {
+    EXPECT_GT(theory::mesh_critical_probability(d), theory::mesh_critical_probability(d + 1));
+  }
+  EXPECT_THROW((void)theory::mesh_critical_probability(1), std::invalid_argument);
+  EXPECT_THROW((void)theory::mesh_critical_probability(7), std::invalid_argument);
+}
+
+TEST(Theory, DoubleTreeThreshold) {
+  EXPECT_NEAR(theory::double_tree_threshold(), 0.70710678, 1e-7);
+}
+
+TEST(Theory, DoubleTreeLowerBoundGrowth) {
+  // p^{-n}: doubles every level at p = 0.5, grows 1.25x at p = 0.8.
+  EXPECT_NEAR(theory::double_tree_local_lower_bound(0.8, 10) /
+                  theory::double_tree_local_lower_bound(0.8, 9),
+              1.25, 1e-9);
+  EXPECT_THROW((void)theory::double_tree_local_lower_bound(0.0, 5), std::invalid_argument);
+}
+
+TEST(Theory, GnpGiantFractionFixedPoint) {
+  EXPECT_DOUBLE_EQ(theory::gnp_giant_fraction(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(theory::gnp_giant_fraction(1.0), 0.0);
+  // beta solves beta = 1 - e^{-c beta}; check the fixed point property.
+  for (const double c : {1.5, 2.0, 3.0, 5.0}) {
+    const double beta = theory::gnp_giant_fraction(c);
+    EXPECT_GT(beta, 0.0);
+    EXPECT_LT(beta, 1.0);
+    EXPECT_NEAR(beta, 1.0 - std::exp(-c * beta), 1e-10) << c;
+  }
+  // Known value: c = 2 gives beta ~ 0.7968.
+  EXPECT_NEAR(theory::gnp_giant_fraction(2.0), 0.7968, 5e-4);
+}
+
+TEST(Theory, GnpExponents) {
+  EXPECT_DOUBLE_EQ(theory::gnp_local_exponent(), 2.0);
+  EXPECT_DOUBLE_EQ(theory::gnp_oracle_exponent(), 1.5);
+}
+
+}  // namespace
+}  // namespace faultroute

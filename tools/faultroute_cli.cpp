@@ -1,0 +1,232 @@
+// faultroute — command-line front end for the library.
+//
+// Subcommands:
+//   route      route one pair through one percolation environment
+//   components cluster structure of an environment
+//   threshold  bisect the giant-component threshold of a topology
+//   trials     routing-complexity measurement (Definition 2), with stats
+//
+// Examples:
+//   faultroute route --topology hypercube:12 --p 0.35 --router landmark
+//   faultroute route --topology double_tree:10 --p 0.8 --router double-tree-oracle
+//   faultroute components --topology torus:2:64 --p 0.55
+//   faultroute threshold --topology de_bruijn:12
+//   faultroute trials --topology mesh:2:96 --p 0.6 --router landmark --trials 50
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "core/experiment.hpp"
+#include "core/probe_context.hpp"
+#include "graph/double_tree.hpp"
+#include "graph/mesh.hpp"
+#include "percolation/cluster_analysis.hpp"
+#include "percolation/edge_sampler.hpp"
+#include "percolation/threshold.hpp"
+#include "random/rng.hpp"
+#include "sim/registry.hpp"
+
+namespace {
+
+using namespace faultroute;
+
+/// Minimal --key value / --key=value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --flag, got '" + token + "'");
+      }
+      token = token.substr(2);
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        values_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[token] = argv[++i];
+      } else {
+        values_[token] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) throw std::invalid_argument("missing required --" + key);
+    return it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stod(it->second) : fallback;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::stoull(it->second) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Default endpoints: the double tree routes root-to-root; everything else
+/// routes corner-to-"antipode".
+void default_pair(const Topology& graph, VertexId& u, VertexId& v) {
+  if (const auto* tree = dynamic_cast<const DoubleBinaryTree*>(&graph)) {
+    u = tree->root1();
+    v = tree->root2();
+    return;
+  }
+  u = 0;
+  if (const auto* mesh = dynamic_cast<const Mesh*>(&graph)) {
+    // The true antipode of the origin: half a side along every axis on the
+    // torus (corner-to-corner is only 2 hops away under wraparound).
+    Mesh::Coords far{};
+    for (int a = 0; a < mesh->dimension(); ++a) {
+      far[static_cast<std::size_t>(a)] = mesh->wraps() ? mesh->side() / 2 : mesh->side() - 1;
+    }
+    v = mesh->vertex_at(far);
+    return;
+  }
+  v = graph.num_vertices() - 1;
+}
+
+int cmd_route(const Args& args) {
+  const auto graph = sim::make_topology(args.require("topology"));
+  const double p = args.get_double("p", 0.5);
+  const auto router = sim::make_router(args.get("router", "landmark"), *graph);
+  const std::uint64_t seed = args.get_u64("seed", 2005);
+  VertexId u;
+  VertexId v;
+  default_pair(*graph, u, v);
+  u = args.get_u64("from", u);
+  v = args.get_u64("to", v);
+
+  const HashEdgeSampler env(p, seed);
+  std::cout << graph->name() << "  p=" << p << "  seed=" << seed << "  router="
+            << router->name() << "\n";
+  ProbeContext ctx(*graph, env, u, router->required_mode());
+  const auto path = router->route(ctx, u, v);
+  if (!path) {
+    std::cout << graph->vertex_label(u) << " and " << graph->vertex_label(v)
+              << " are not connected (" << ctx.distinct_probes()
+              << " probes to establish)\n";
+    return 0;
+  }
+  std::cout << "path (" << (path->size() - 1) << " hops, fault-free distance "
+            << graph->distance(u, v) << "):";
+  const std::size_t shown = std::min<std::size_t>(path->size(), 24);
+  for (std::size_t i = 0; i < shown; ++i) std::cout << ' ' << graph->vertex_label((*path)[i]);
+  if (shown < path->size()) std::cout << " ... " << graph->vertex_label(path->back());
+  std::cout << "\nrouting complexity: " << ctx.distinct_probes() << " distinct probes ("
+            << ctx.total_probes() << " total)\n";
+  return 0;
+}
+
+int cmd_components(const Args& args) {
+  const auto graph = sim::make_topology(args.require("topology"));
+  const double p = args.get_double("p", 0.5);
+  const std::uint64_t seed = args.get_u64("seed", 2005);
+  const auto summary = analyze_components(*graph, HashEdgeSampler(p, seed));
+  Table table({"metric", "value"});
+  table.add_row({"vertices", Table::fmt(summary.num_vertices)});
+  table.add_row({"open edges", Table::fmt(summary.num_open_edges)});
+  table.add_row({"components", Table::fmt(summary.num_components)});
+  table.add_row({"largest", Table::fmt(summary.largest)});
+  table.add_row({"largest fraction", Table::fmt(summary.largest_fraction(), 4)});
+  table.add_row({"second largest", Table::fmt(summary.second_largest)});
+  table.print(graph->name() + " at p=" + Table::fmt(p, 3));
+  return 0;
+}
+
+int cmd_threshold(const Args& args) {
+  const auto graph = sim::make_topology(args.require("topology"));
+  ThresholdConfig config;
+  config.target_fraction = args.get_double("target", 0.2);
+  config.trials_per_point = static_cast<int>(args.get_u64("trials", 6));
+  config.tolerance = args.get_double("tolerance", 0.005);
+  config.seed = args.get_u64("seed", 2005);
+  const auto order = [&graph](double p, std::uint64_t seed) {
+    return analyze_components(*graph, HashEdgeSampler(p, seed)).largest_fraction();
+  };
+  const double pc = estimate_threshold(order, args.get_double("lo", 0.02),
+                                       args.get_double("hi", 0.98), config);
+  std::cout << graph->name() << ": giant-component threshold ~ " << pc
+            << " (order parameter crosses " << config.target_fraction << ")\n";
+  return 0;
+}
+
+int cmd_trials(const Args& args) {
+  const auto graph = sim::make_topology(args.require("topology"));
+  const double p = args.get_double("p", 0.5);
+  const std::string router_name = args.get("router", "landmark");
+  VertexId u;
+  VertexId v;
+  default_pair(*graph, u, v);
+  u = args.get_u64("from", u);
+  v = args.get_u64("to", v);
+
+  ExperimentConfig config;
+  config.trials = static_cast<int>(args.get_u64("trials", 30));
+  config.base_seed = args.get_u64("seed", 2005);
+  if (args.get_u64("budget", 0) > 0) config.probe_budget = args.get_u64("budget", 0);
+
+  const auto factory = [&]() { return sim::make_router(router_name, *graph); };
+  const auto outcomes = run_routing_trials_parallel(
+      *graph, p, factory, u, v, config,
+      static_cast<unsigned>(args.get_u64("threads", 0)));
+  const ExperimentSummary s = summarize_trials(outcomes);
+
+  Table table({"metric", "value"});
+  table.add_row({"trials", Table::fmt(s.trials)});
+  table.add_row({"routed", Table::fmt(s.routed)});
+  table.add_row({"censored (budget)", Table::fmt(s.censored)});
+  table.add_row({"mean distinct probes", Table::fmt(s.mean_distinct, 1)});
+  table.add_row({"median distinct probes", Table::fmt(s.median_distinct, 1)});
+  table.add_row({"max distinct probes", Table::fmt(s.max_distinct, 0)});
+  table.add_row({"mean path edges", Table::fmt(s.mean_path_edges, 1)});
+  table.add_row({"rejection rate", Table::fmt(s.rejection_rate, 3)});
+  table.print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" + router_name);
+  return 0;
+}
+
+void print_usage() {
+  std::cout
+      << "usage: faultroute <route|components|threshold|trials> [--flags]\n\n"
+      << "topologies:";
+  for (const auto& s : sim::topology_spec_examples()) std::cout << ' ' << s;
+  std::cout << "\nrouters:   ";
+  for (const auto& s : sim::router_names()) std::cout << ' ' << s;
+  std::cout << "\n\ncommon flags: --topology SPEC --p P --seed S --router NAME\n"
+            << "trials flags: --trials N --budget B --threads T --from U --to V\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "route") return cmd_route(args);
+    if (command == "components") return cmd_components(args);
+    if (command == "threshold") return cmd_threshold(args);
+    if (command == "trials") return cmd_trials(args);
+    print_usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "faultroute %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+}
