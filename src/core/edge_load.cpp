@@ -1,0 +1,21 @@
+#include "core/edge_load.hpp"
+
+#include <algorithm>
+
+namespace faultroute {
+
+EdgeLoadStats summarize_edge_load(const std::unordered_map<EdgeKey, std::uint64_t>& load) {
+  EdgeLoadStats stats;
+  stats.edges_used = load.size();
+  for (const auto& [key, count] : load) {
+    stats.total += count;
+    stats.max_load = std::max(stats.max_load, count);
+  }
+  if (stats.edges_used > 0) {
+    stats.mean_load =
+        static_cast<double>(stats.total) / static_cast<double>(stats.edges_used);
+  }
+  return stats;
+}
+
+}  // namespace faultroute

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+/// Congestion summary of a per-edge traversal-count map, shared by the
+/// permutation batch router and the traffic engine.
+struct EdgeLoadStats {
+  std::uint64_t max_load = 0;    // traversals of the busiest edge
+  std::uint64_t edges_used = 0;  // edges carrying >= 1 traversal
+  std::uint64_t total = 0;       // sum of all traversals
+  double mean_load = 0.0;        // total / edges_used (0 when unused)
+};
+
+[[nodiscard]] EdgeLoadStats summarize_edge_load(
+    const std::unordered_map<EdgeKey, std::uint64_t>& load);
+
+}  // namespace faultroute

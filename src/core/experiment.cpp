@@ -1,11 +1,9 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
+#include "core/parallel.hpp"
 #include "core/path.hpp"
 #include "percolation/cluster_analysis.hpp"
 #include "percolation/edge_sampler.hpp"
@@ -87,34 +85,14 @@ std::vector<TrialOutcome> run_routing_trials_parallel(const Topology& graph, dou
                                                       VertexId u, VertexId v,
                                                       const ExperimentConfig& config,
                                                       unsigned threads) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(std::max(1, config.trials)));
-  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(config.trials));
-  std::atomic<int> next_trial{0};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  // Exceptions must not escape a worker; capture the first and rethrow.
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  for (unsigned w = 0; w < threads; ++w) {
-    workers.emplace_back([&] {
-      const auto router = make_router();
-      while (true) {
-        const int trial = next_trial.fetch_add(1);
-        if (trial >= config.trials) return;
-        try {
-          outcomes[static_cast<std::size_t>(trial)] =
-              run_single_trial(graph, p, *router, u, v, config, trial);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          return;
-        }
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  if (first_error) std::rethrow_exception(first_error);
+  std::vector<TrialOutcome> outcomes(static_cast<std::size_t>(std::max(0, config.trials)));
+  parallel_index_loop(outcomes.size(), threads, [&] {
+    const std::shared_ptr<Router> router = make_router();
+    return [&, router](std::size_t trial) {
+      outcomes[trial] =
+          run_single_trial(graph, p, *router, u, v, config, static_cast<int>(trial));
+    };
+  });
   return outcomes;
 }
 

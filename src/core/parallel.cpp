@@ -1,0 +1,48 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace faultroute {
+
+void parallel_index_loop(std::size_t count, unsigned threads,
+                         const std::function<std::function<void(std::size_t)>()>& make_body) {
+  if (count == 0) return;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(std::min<std::size_t>(
+                                            count, std::numeric_limits<unsigned>::max())));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    try {
+      const auto body = make_body();
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        body(i);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace faultroute

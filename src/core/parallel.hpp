@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace faultroute {
+
+/// Runs body(i) for every i in [0, count), distributing indices to a worker
+/// pool by atomic work-stealing. `make_body` is invoked once per worker
+/// thread to set up per-worker state (typically a Router instance, which is
+/// not required to be thread-safe) and returns the body to run.
+///
+/// threads = 0 picks hardware_concurrency; the pool is clamped to `count`,
+/// and threads == 1 runs inline without spawning. The first exception thrown
+/// by any body (or make_body) stops that worker and is rethrown to the
+/// caller after all workers join.
+///
+/// Bodies must write results only to disjoint index-addressed slots; under
+/// that contract the outcome is identical for every thread count.
+void parallel_index_loop(std::size_t count, unsigned threads,
+                         const std::function<std::function<void(std::size_t)>()>& make_body);
+
+}  // namespace faultroute

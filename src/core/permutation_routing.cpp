@@ -3,6 +3,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/edge_load.hpp"
 #include "core/path.hpp"
 #include "core/probe_context.hpp"
 #include "percolation/cluster_analysis.hpp"
@@ -52,14 +53,9 @@ PermutationRoutingResult route_permutation(
     }
   }
 
-  std::uint64_t load_sum = 0;
-  for (const auto& [key, load] : edge_load) {
-    load_sum += load;
-    result.max_edge_load = std::max(result.max_edge_load, load);
-  }
-  result.mean_edge_load =
-      edge_load.empty() ? 0.0
-                        : static_cast<double>(load_sum) / static_cast<double>(edge_load.size());
+  const EdgeLoadStats congestion = summarize_edge_load(edge_load);
+  result.max_edge_load = congestion.max_load;
+  result.mean_edge_load = congestion.mean_load;
   return result;
 }
 

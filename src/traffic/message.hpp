@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+/// One message of a traffic workload: a routing demand injected into the
+/// shared percolation environment at a discrete timestep.
+///
+/// Ids are dense indices [0, num_messages) assigned by the workload
+/// generator; the engine uses them as deterministic tie-breakers wherever
+/// simultaneous events must be ordered (FIFO queue admission), which is what
+/// makes the simulation independent of thread count.
+struct TrafficMessage {
+  std::uint32_t id = 0;
+  VertexId source = 0;
+  VertexId target = 0;
+  /// Injection timestep. Closed-loop workloads inject everything at 0;
+  /// the Poisson workload spreads arrivals over time (open loop).
+  std::uint64_t inject_time = 0;
+};
+
+}  // namespace faultroute

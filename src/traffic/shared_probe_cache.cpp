@@ -1,0 +1,37 @@
+#include "traffic/shared_probe_cache.hpp"
+
+#include "random/splitmix64.hpp"
+
+namespace faultroute {
+
+SharedProbeCache::SharedProbeCache(const EdgeSampler& base) : base_(base) {}
+
+bool SharedProbeCache::is_open(EdgeKey key) const {
+  Shard& shard = shards_[mix64(key) % kShards];
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.memo.find(key);
+    if (it != shard.memo.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Query outside the lock: the sampler is pure, so a racing double-compute
+  // yields the same value and the second insert is a no-op.
+  const bool open = base_.is_open(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.memo.emplace(key, open);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return open;
+}
+
+std::uint64_t SharedProbeCache::unique_edges() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.memo.size();
+  }
+  return total;
+}
+
+}  // namespace faultroute

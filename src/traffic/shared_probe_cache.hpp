@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "percolation/edge_sampler.hpp"
+
+namespace faultroute {
+
+/// A concurrency-safe memoising layer over an EdgeSampler, shared by every
+/// message of a traffic batch.
+///
+/// Single-pair routing pays the full discovery cost of its environment; a
+/// batch of concurrent messages probing one shared environment should not.
+/// The cache records the answer the first time any message probes an edge,
+/// so the *environment* cost of a batch is the number of distinct edges
+/// probed by the union of all messages — per-message cost amortises toward
+/// zero as the batch grows and working sets overlap. This is the traffic
+/// engine's key hot-path optimisation.
+///
+/// Correctness under threads: the underlying sampler is a deterministic pure
+/// function of the edge key, so the cached value is identical no matter which
+/// thread inserts it first — every quantity derived from probe *answers* is
+/// bit-identical across thread counts. The hit/miss counters are the only
+/// exception (two threads can race to first-probe the same edge and both
+/// count a miss); they are diagnostics, not results. `unique_edges()` — the
+/// deterministic amortisation measure — counts cache entries, not events.
+///
+/// The map is sharded by a mixed hash of the edge key to keep lock
+/// contention negligible relative to router work.
+class SharedProbeCache final : public EdgeSampler {
+ public:
+  explicit SharedProbeCache(const EdgeSampler& base);
+
+  /// Returns the cached answer, querying (and caching) `base` on first touch.
+  [[nodiscard]] bool is_open(EdgeKey key) const override;
+
+  [[nodiscard]] double survival_probability() const override {
+    return base_.survival_probability();
+  }
+
+  /// Number of distinct edges whose state has been discovered — the batch's
+  /// total environment-discovery cost. Deterministic across thread counts.
+  [[nodiscard]] std::uint64_t unique_edges() const;
+
+  /// Approximate probe counters (racy under concurrency; diagnostics only).
+  [[nodiscard]] std::uint64_t approx_hits() const { return hits_.load(); }
+  [[nodiscard]] std::uint64_t approx_misses() const { return misses_.load(); }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<EdgeKey, bool> memo;
+  };
+
+  const EdgeSampler& base_;
+  mutable std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace faultroute

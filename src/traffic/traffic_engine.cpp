@@ -1,0 +1,245 @@
+#include "traffic/traffic_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "core/edge_load.hpp"
+#include "core/parallel.hpp"
+#include "random/splitmix64.hpp"
+#include "traffic/shared_probe_cache.hpp"
+
+namespace faultroute {
+
+namespace {
+
+/// A directed transmission channel: the undirected edge `key` traversed out
+/// of vertex `from`. The two directions of an edge queue independently.
+using ChannelKey = std::pair<EdgeKey, VertexId>;
+
+struct ChannelHash {
+  std::size_t operator()(const ChannelKey& c) const noexcept {
+    return static_cast<std::size_t>(hash_pair(c.first, c.second));
+  }
+};
+
+/// One message's routed journey: the channel of every hop, in order.
+struct Journey {
+  std::vector<ChannelKey> hops;
+  std::size_t next_hop = 0;
+};
+
+/// Phase 1: route every message through the (cached) environment.
+/// Messages are independent, so a work-stealing index loop with a
+/// fresh-per-thread router reproduces the sequential outcome exactly.
+void route_all(const Topology& graph, const EdgeSampler& env,
+               const RouterFactory& make_router,
+               const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
+               std::vector<MessageOutcome>& outcomes, std::vector<Path>& paths) {
+  parallel_index_loop(messages.size(), config.threads, [&] {
+    const std::shared_ptr<Router> router = make_router();
+    return [&, router](std::size_t i) {
+      const TrafficMessage& msg = messages[i];
+      MessageOutcome& out = outcomes[i];
+      out.message = msg;
+      if (msg.source == msg.target) {
+        out.routed = true;
+        paths[i] = Path{msg.source};
+        return;
+      }
+      ProbeContext ctx(graph, env, msg.source, router->required_mode(),
+                       config.probe_budget);
+      std::optional<Path> path;
+      try {
+        path = router->route(ctx, msg.source, msg.target);
+      } catch (const ProbeBudgetExceeded&) {
+        out.censored = true;
+      }
+      out.distinct_probes = ctx.distinct_probes();
+      if (path) {
+        out.routed = true;
+        // Routers may legally return walks; forwarding a loop would burn
+        // capacity for nothing, so ship along the simplified path.
+        paths[i] = simplify_walk(*path);
+        out.path_edges = path_length(paths[i]);
+      }
+    };
+  });
+}
+
+}  // namespace
+
+TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
+                          const RouterFactory& make_router,
+                          const std::vector<TrafficMessage>& messages,
+                          const TrafficConfig& config) {
+  if (config.edge_capacity == 0) {
+    throw std::invalid_argument("run_traffic: edge_capacity must be >= 1");
+  }
+  TrafficResult result;
+  result.messages = messages.size();
+  result.outcomes.resize(messages.size());
+  std::vector<Path> paths(messages.size());
+
+  // ---------------------------------------------------------- phase 1: route
+  std::optional<SharedProbeCache> cache;
+  if (config.use_shared_cache) cache.emplace(sampler);
+  const EdgeSampler& env = config.use_shared_cache ? static_cast<const EdgeSampler&>(*cache)
+                                                   : sampler;
+  route_all(graph, env, make_router, messages, config, result.outcomes, paths);
+  if (cache) result.unique_edges_probed = cache->unique_edges();
+
+  // Validate paths and compile journeys (per-hop channel keys).
+  std::vector<Journey> journeys(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    MessageOutcome& out = result.outcomes[i];
+    result.total_distinct_probes += out.distinct_probes;
+    if (out.censored) {
+      ++result.censored;
+      continue;
+    }
+    if (!out.routed) {
+      ++result.failed_routing;
+      continue;
+    }
+    // Validate before counting as routed, so the exact partition
+    // routed + failed + censored + invalid == messages holds.
+    const Path& path = paths[i];
+    if (config.verify_paths &&
+        !is_valid_open_path(graph, sampler, path, out.message.source, out.message.target)) {
+      ++result.invalid_paths;
+      out.routed = false;
+      continue;
+    }
+    Journey& journey = journeys[i];
+    journey.hops.reserve(path.size() > 0 ? path.size() - 1 : 0);
+    bool ok = true;
+    for (std::size_t step = 0; step + 1 < path.size(); ++step) {
+      const int idx = edge_index_of(graph, path[step], path[step + 1]);
+      if (idx < 0) {  // unreachable when verify_paths is on; defensive otherwise
+        ok = false;
+        break;
+      }
+      journey.hops.emplace_back(graph.edge_key(path[step], idx), path[step]);
+    }
+    if (!ok) {
+      ++result.invalid_paths;
+      out.routed = false;
+      journey.hops.clear();
+      continue;
+    }
+    ++result.routed;
+  }
+
+  // -------------------------------------------------------- phase 2: deliver
+  // Discrete-time store-and-forward: at each step, first admit arriving
+  // messages to their next channel queue (ordered by message id, so the
+  // simulation is deterministic), then every channel transmits up to
+  // `edge_capacity` messages, which arrive at the far endpoint next step.
+  std::unordered_map<ChannelKey, std::deque<std::uint32_t>, ChannelHash> queues;
+  std::set<ChannelKey> busy;  // ordered: deterministic iteration
+  std::map<std::uint64_t, std::vector<std::uint32_t>> admissions;  // time -> ids
+  std::unordered_map<EdgeKey, std::uint64_t> edge_load;
+
+  std::uint64_t in_flight = 0;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (!result.outcomes[i].routed) continue;
+    admissions[messages[i].inject_time].push_back(static_cast<std::uint32_t>(i));
+    ++in_flight;
+  }
+
+  std::uint64_t t = 0;
+  std::uint64_t steps = 0;
+  while (in_flight > 0 && (!admissions.empty() || !busy.empty())) {
+    if (busy.empty()) t = admissions.begin()->first;  // skip idle gaps
+    if (config.max_steps != 0 && steps >= config.max_steps) break;
+    ++steps;
+
+    const auto due = admissions.find(t);
+    if (due != admissions.end()) {
+      std::sort(due->second.begin(), due->second.end());
+      for (const std::uint32_t id : due->second) {
+        Journey& journey = journeys[id];
+        if (journey.next_hop == journey.hops.size()) {
+          MessageOutcome& out = result.outcomes[id];
+          out.delivered = true;
+          out.finish_time = t;
+          out.queueing_delay = t - out.message.inject_time - out.path_edges;
+          --in_flight;
+          continue;
+        }
+        const ChannelKey& channel = journey.hops[journey.next_hop];
+        queues[channel].push_back(id);
+        busy.insert(channel);
+      }
+      admissions.erase(due);
+    }
+
+    std::vector<ChannelKey> drained;
+    for (const ChannelKey& channel : busy) {
+      std::deque<std::uint32_t>& queue = queues[channel];
+      for (std::uint64_t slot = 0; slot < config.edge_capacity && !queue.empty(); ++slot) {
+        const std::uint32_t id = queue.front();
+        queue.pop_front();
+        ++journeys[id].next_hop;
+        ++edge_load[channel.first];
+        admissions[t + 1].push_back(id);
+      }
+      if (queue.empty()) drained.push_back(channel);
+    }
+    for (const ChannelKey& channel : drained) busy.erase(channel);
+    ++t;
+  }
+  result.stranded = in_flight;
+
+  // ------------------------------------------------------------- aggregation
+  const EdgeLoadStats congestion = summarize_edge_load(edge_load);
+  result.max_edge_load = congestion.max_load;
+  result.edges_used = congestion.edges_used;
+  result.mean_edge_load = congestion.mean_load;
+
+  double delay_sum = 0.0;
+  double hops_sum = 0.0;
+  for (const MessageOutcome& out : result.outcomes) {
+    if (!out.delivered) continue;
+    ++result.delivered;
+    result.makespan = std::max(result.makespan, out.finish_time);
+    delay_sum += static_cast<double>(out.queueing_delay);
+    result.max_queueing_delay = std::max(result.max_queueing_delay, out.queueing_delay);
+    hops_sum += static_cast<double>(out.path_edges);
+  }
+  if (result.delivered > 0) {
+    result.mean_queueing_delay = delay_sum / static_cast<double>(result.delivered);
+    result.mean_path_edges = hops_sum / static_cast<double>(result.delivered);
+  }
+  return result;
+}
+
+Table traffic_table(const TrafficResult& result) {
+  Table table({"metric", "value"});
+  table.add_row({"messages", Table::fmt(result.messages)});
+  table.add_row({"routed", Table::fmt(result.routed)});
+  table.add_row({"failed routing", Table::fmt(result.failed_routing)});
+  table.add_row({"censored (budget)", Table::fmt(result.censored)});
+  table.add_row({"invalid paths", Table::fmt(result.invalid_paths)});
+  table.add_row({"delivered", Table::fmt(result.delivered)});
+  table.add_row({"stranded", Table::fmt(result.stranded)});
+  table.add_row({"total distinct probes", Table::fmt(result.total_distinct_probes)});
+  table.add_row({"unique edges probed", Table::fmt(result.unique_edges_probed)});
+  table.add_row({"probe amortization", Table::fmt(result.probe_amortization(), 2)});
+  table.add_row({"max edge load", Table::fmt(result.max_edge_load)});
+  table.add_row({"mean edge load", Table::fmt(result.mean_edge_load, 2)});
+  table.add_row({"edges used", Table::fmt(result.edges_used)});
+  table.add_row({"mean path edges", Table::fmt(result.mean_path_edges, 2)});
+  table.add_row({"mean queueing delay", Table::fmt(result.mean_queueing_delay, 2)});
+  table.add_row({"max queueing delay", Table::fmt(result.max_queueing_delay)});
+  table.add_row({"makespan", Table::fmt(result.makespan)});
+  table.add_row({"throughput (msgs/step)", Table::fmt(result.throughput(), 3)});
+  return table;
+}
+
+}  // namespace faultroute

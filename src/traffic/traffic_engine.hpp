@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/experiment.hpp"  // RouterFactory
+#include "core/path.hpp"
+#include "core/router.hpp"
+#include "graph/topology.hpp"
+#include "percolation/edge_sampler.hpp"
+#include "traffic/message.hpp"
+
+namespace faultroute {
+
+/// Configuration of a traffic run.
+struct TrafficConfig {
+  /// Messages a directed edge channel can transmit per timestep (>= 1).
+  /// An undirected topology edge is two independent channels, one per
+  /// direction, as in standard store-and-forward network models.
+  std::uint64_t edge_capacity = 1;
+  /// Probe budget per message (nullopt = unbounded); exhausting it makes the
+  /// message fail routing (counted in `censored`).
+  std::optional<std::uint64_t> probe_budget;
+  /// Worker threads for the routing phase (0 = hardware concurrency). The
+  /// result is bit-identical for every thread count.
+  unsigned threads = 0;
+  /// Route through a SharedProbeCache so concurrent messages amortise
+  /// environment discovery. Turning it off only disables the optimisation;
+  /// results are unchanged (the cache is semantically transparent).
+  bool use_shared_cache = true;
+  /// Verify every returned path against the environment; invalid paths are
+  /// counted and the message dropped from the delivery simulation.
+  bool verify_paths = true;
+  /// Safety cap on simulated timesteps (0 = unbounded). With capacity >= 1
+  /// every queued message eventually drains, so the cap only guards against
+  /// pathological configs; messages still in flight when it is hit are
+  /// counted as `stranded`.
+  std::uint64_t max_steps = 0;
+};
+
+/// Per-message outcome, indexed by message id.
+struct MessageOutcome {
+  TrafficMessage message;
+  bool routed = false;     // router returned a path
+  bool censored = false;   // probe budget exhausted
+  bool delivered = false;  // path fully traversed in the simulation
+  std::uint64_t distinct_probes = 0;
+  std::uint64_t path_edges = 0;
+  std::uint64_t finish_time = 0;  // delivery timestep (delivered only)
+  /// finish - inject - path_edges: timesteps spent waiting in queues beyond
+  /// the store-and-forward minimum of one step per hop.
+  std::uint64_t queueing_delay = 0;
+};
+
+/// Aggregate result of a traffic run. All fields are deterministic in
+/// (graph, sampler, workload, config) — independent of thread count.
+struct TrafficResult {
+  std::uint64_t messages = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t failed_routing = 0;  // router gave up (target unreachable or incomplete router)
+  std::uint64_t censored = 0;        // probe budget exhausted
+  std::uint64_t invalid_paths = 0;   // failed verification (router bug)
+  std::uint64_t delivered = 0;
+  std::uint64_t stranded = 0;        // in flight when max_steps was hit
+
+  // Probe economics (the SharedProbeCache amortisation).
+  std::uint64_t total_distinct_probes = 0;  // summed per-message Definition-2 cost
+  /// Union over messages = batch discovery cost. Only tracked when
+  /// use_shared_cache is on (0 otherwise).
+  std::uint64_t unique_edges_probed = 0;
+  /// total_distinct_probes / unique_edges_probed: how many times the batch
+  /// re-used each discovered edge (1.0 = no sharing; grows with batch size).
+  [[nodiscard]] double probe_amortization() const {
+    return unique_edges_probed == 0
+               ? 0.0
+               : static_cast<double>(total_distinct_probes) /
+                     static_cast<double>(unique_edges_probed);
+  }
+
+  // Congestion over undirected edges (both directions pooled).
+  std::uint64_t max_edge_load = 0;  // traversals of the busiest edge
+  double mean_edge_load = 0.0;      // over edges carrying >= 1 message
+  std::uint64_t edges_used = 0;
+
+  // Delay and throughput.
+  std::uint64_t makespan = 0;  // last delivery timestep (over delivered messages)
+  double mean_queueing_delay = 0.0;
+  std::uint64_t max_queueing_delay = 0;
+  double mean_path_edges = 0.0;  // over delivered messages
+  /// delivered messages per timestep of makespan.
+  [[nodiscard]] double throughput() const {
+    return makespan == 0 ? static_cast<double>(delivered)
+                         : static_cast<double>(delivered) / static_cast<double>(makespan);
+  }
+
+  std::vector<MessageOutcome> outcomes;  // indexed by message id
+};
+
+/// Discrete-time store-and-forward traffic simulation over one shared
+/// percolation environment.
+///
+/// Phase 1 (routing, thread-parallel): every message is routed independently
+/// by a fresh-per-thread router through its own ProbeContext, all layered
+/// over one SharedProbeCache so environment discovery is amortised across
+/// the batch. Messages are mutually independent given the (deterministic)
+/// environment, so the phase parallelises with bit-identical results.
+///
+/// Phase 2 (delivery, sequential): the chosen paths are driven hop-by-hop
+/// through per-channel FIFO queues with `edge_capacity` transmissions per
+/// directed channel per timestep. Simultaneous queue admissions are ordered
+/// by message id, making the whole simulation deterministic.
+[[nodiscard]] TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
+                                        const RouterFactory& make_router,
+                                        const std::vector<TrafficMessage>& messages,
+                                        const TrafficConfig& config);
+
+/// Renders the aggregate metrics as a two-column report table.
+[[nodiscard]] Table traffic_table(const TrafficResult& result);
+
+}  // namespace faultroute

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "traffic/message.hpp"
+
+namespace faultroute {
+
+/// Demand patterns for the traffic engine. Each generator is deterministic
+/// in (topology size, config), so a scenario is reproducible from its spec.
+///
+///  * kPermutation: one message per source under random permutations of the
+///    vertex set (the classical setting of the emulation literature the paper
+///    cites — Valiant/Håstad-style permutation routing). Fixed points are
+///    skipped; if more messages are requested than vertices, additional
+///    independent permutation rounds are drawn.
+///  * kRandomPairs: independent uniform (source, target) pairs.
+///  * kHotspot: all messages target one vertex (all-to-one); the adversarial
+///    pattern that saturates the target's incident edges.
+///  * kBisection: sources in the first half of the vertex range, targets in
+///    the second half — stresses the bisection bandwidth.
+///  * kPoisson: like kRandomPairs but open-loop — arrivals follow a Poisson
+///    process of `arrival_rate` messages per timestep instead of all
+///    arriving at t=0.
+enum class WorkloadKind { kPermutation, kRandomPairs, kHotspot, kBisection, kPoisson };
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kPermutation;
+  /// Number of messages to generate.
+  std::uint64_t messages = 1024;
+  /// Seed for the demand pattern (the environment has its own seed).
+  std::uint64_t seed = 1;
+  /// Target vertex of the kHotspot pattern.
+  VertexId hotspot_target = 0;
+  /// Mean arrivals per timestep for kPoisson (must be > 0).
+  double arrival_rate = 1.0;
+};
+
+/// Parses a workload name ("permutation", "random-pairs", "hotspot",
+/// "bisection", "poisson"); throws std::invalid_argument on anything else.
+[[nodiscard]] WorkloadKind parse_workload(const std::string& name);
+
+/// The canonical name of a workload kind (inverse of parse_workload).
+[[nodiscard]] std::string workload_name(WorkloadKind kind);
+
+/// All accepted workload names, for help text.
+[[nodiscard]] std::vector<std::string> workload_names();
+
+/// Generates the message list for `config` on `graph`. Messages are returned
+/// with dense ids 0..n-1 in nondecreasing inject_time order; source != target
+/// for every message. Requires num_vertices >= 2.
+[[nodiscard]] std::vector<TrafficMessage> generate_workload(const Topology& graph,
+                                                            const WorkloadConfig& config);
+
+}  // namespace faultroute

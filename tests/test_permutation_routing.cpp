@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hpp"  // RouterFactory
+#include "core/permutation_routing.hpp"
+#include "core/routers/flood_router.hpp"
+#include "core/routers/greedy_router.hpp"
+#include "graph/hypercube.hpp"
+#include "percolation/edge_sampler.hpp"
+
+namespace faultroute {
+namespace {
+
+RouterFactory flood_factory() {
+  return [] { return std::make_unique<FloodRouter>(); };
+}
+
+TEST(PermutationRouting, FaultFreeBatchRoutesEveryPair) {
+  const Hypercube g(6);
+  const HashEdgeSampler env(1.0, 1);
+  PermutationRoutingConfig config;
+  config.pairs = 64;
+  const PermutationRoutingResult r = route_permutation(g, env, flood_factory(), config);
+  EXPECT_EQ(r.skipped_disconnected, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.routed, r.pairs);
+  EXPECT_GT(r.pairs, 0u);
+  EXPECT_GE(r.mean_path_length(), 1.0);
+  EXPECT_GE(r.max_edge_load, 1u);
+  EXPECT_GE(static_cast<double>(r.max_edge_load), r.mean_edge_load);
+}
+
+TEST(PermutationRouting, CompleteRouterMissesNoConnectedPair) {
+  // Flood is complete: under percolation every attempted (connected) pair
+  // must be routed, and disconnected draws are skipped, not failed.
+  const Hypercube g(7);
+  const HashEdgeSampler env(0.55, 23);
+  PermutationRoutingConfig config;
+  config.pairs = 100;
+  const PermutationRoutingResult r = route_permutation(g, env, flood_factory(), config);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.routed, r.pairs);
+  EXPECT_LE(r.pairs + r.skipped_disconnected, config.pairs);  // == draws minus u==v
+  EXPECT_GT(r.total_probes, 0u);
+}
+
+TEST(PermutationRouting, IncompleteRouterFailuresAreCounted) {
+  const Hypercube g(7);
+  const HashEdgeSampler env(0.5, 7);
+  PermutationRoutingConfig config;
+  config.pairs = 100;
+  const auto factory = [] { return std::make_unique<GreedyDescentRouter>(); };
+  const PermutationRoutingResult r = route_permutation(g, env, factory, config);
+  EXPECT_EQ(r.routed + r.failed, r.pairs);
+  EXPECT_GT(r.failed, 0u);  // pure greedy dies near the target at p ~ 1/2
+}
+
+TEST(PermutationRouting, ProbeBudgetTurnsRoutesIntoFailures) {
+  const Hypercube g(7);
+  const HashEdgeSampler env(0.55, 23);
+  PermutationRoutingConfig tight;
+  tight.pairs = 50;
+  tight.probe_budget = 2;
+  const PermutationRoutingResult r = route_permutation(g, env, flood_factory(), tight);
+  EXPECT_GT(r.failed, 0u);
+  EXPECT_EQ(r.routed + r.failed, r.pairs);
+}
+
+TEST(PermutationRouting, DeterministicInSeeds) {
+  const Hypercube g(6);
+  const HashEdgeSampler env(0.6, 9);
+  PermutationRoutingConfig config;
+  config.pairs = 40;
+  config.pair_seed = 4;
+  const PermutationRoutingResult a = route_permutation(g, env, flood_factory(), config);
+  const PermutationRoutingResult b = route_permutation(g, env, flood_factory(), config);
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.routed, b.routed);
+  EXPECT_EQ(a.total_probes, b.total_probes);
+  EXPECT_EQ(a.total_path_edges, b.total_path_edges);
+  EXPECT_EQ(a.max_edge_load, b.max_edge_load);
+  EXPECT_EQ(a.mean_edge_load, b.mean_edge_load);
+}
+
+TEST(PermutationRouting, CongestionAccountsEveryRoutedEdge) {
+  // On the fault-free graph the load total is exactly the path-edge total,
+  // so mean load over used edges times used edges reproduces it; with max
+  // load also bounded below by the pigeonhole average over all edges.
+  const Hypercube g(5);
+  const HashEdgeSampler env(1.0, 2);
+  PermutationRoutingConfig config;
+  config.pairs = 64;
+  const PermutationRoutingResult r = route_permutation(g, env, flood_factory(), config);
+  ASSERT_GT(r.routed, 0u);
+  const double pigeonhole =
+      static_cast<double>(r.total_path_edges) / static_cast<double>(g.num_edges());
+  EXPECT_GE(static_cast<double>(r.max_edge_load) + 1e-9, pigeonhole);
+  EXPECT_GE(r.mean_edge_load, 1.0);  // only edges carrying >= 1 path count
+}
+
+}  // namespace
+}  // namespace faultroute

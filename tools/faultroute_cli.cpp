@@ -1,10 +1,12 @@
 // faultroute — command-line front end for the library.
 //
 // Subcommands:
-//   route      route one pair through one percolation environment
-//   components cluster structure of an environment
-//   threshold  bisect the giant-component threshold of a topology
-//   trials     routing-complexity measurement (Definition 2), with stats
+//   route       route one pair through one percolation environment
+//   components  cluster structure of an environment
+//   threshold   bisect the giant-component threshold of a topology
+//   trials      routing-complexity measurement (Definition 2), with stats
+//   permutation batch-route random pairs and report path congestion
+//   traffic     store-and-forward congestion simulation of a workload
 //
 // Examples:
 //   faultroute route --topology hypercube:12 --p 0.35 --router landmark
@@ -12,6 +14,9 @@
 //   faultroute components --topology torus:2:64 --p 0.55
 //   faultroute threshold --topology de_bruijn:12
 //   faultroute trials --topology mesh:2:96 --p 0.6 --router landmark --trials 50
+//   faultroute permutation --topology hypercube:10 --p 0.6 --router best-first --pairs 256
+//   faultroute traffic --topology hypercube:12 --p 0.5 --router greedy \
+//       --workload permutation --messages 4096
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +26,7 @@
 
 #include "analysis/table.hpp"
 #include "core/experiment.hpp"
+#include "core/permutation_routing.hpp"
 #include "core/probe_context.hpp"
 #include "graph/double_tree.hpp"
 #include "graph/mesh.hpp"
@@ -29,6 +35,8 @@
 #include "percolation/threshold.hpp"
 #include "random/rng.hpp"
 #include "sim/registry.hpp"
+#include "traffic/traffic_engine.hpp"
+#include "traffic/workload.hpp"
 
 namespace {
 
@@ -198,15 +206,85 @@ int cmd_trials(const Args& args) {
   return 0;
 }
 
+int cmd_permutation(const Args& args) {
+  const auto graph = sim::make_topology(args.require("topology"));
+  const double p = args.get_double("p", 0.5);
+  const std::string router_name = args.get("router", "landmark");
+  const std::uint64_t seed = args.get_u64("seed", 2005);
+
+  PermutationRoutingConfig config;
+  config.pairs = args.get_u64("pairs", 64);
+  config.pair_seed = args.get_u64("pair-seed", 1);
+  if (args.get_u64("budget", 0) > 0) config.probe_budget = args.get_u64("budget", 0);
+
+  const HashEdgeSampler env(p, seed);
+  const auto factory = [&]() { return sim::make_router(router_name, *graph); };
+  const PermutationRoutingResult r = route_permutation(*graph, env, factory, config);
+
+  Table table({"metric", "value"});
+  table.add_row({"pairs (connected)", Table::fmt(r.pairs)});
+  table.add_row({"routed", Table::fmt(r.routed)});
+  table.add_row({"failed", Table::fmt(r.failed)});
+  table.add_row({"skipped disconnected", Table::fmt(r.skipped_disconnected)});
+  table.add_row({"mean probes", Table::fmt(r.mean_probes(), 1)});
+  table.add_row({"mean path length", Table::fmt(r.mean_path_length(), 1)});
+  table.add_row({"max edge load", Table::fmt(r.max_edge_load)});
+  table.add_row({"mean edge load", Table::fmt(r.mean_edge_load, 2)});
+  table.print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" + router_name +
+              "  permutation batch");
+  return 0;
+}
+
+int cmd_traffic(const Args& args) {
+  const auto graph = sim::make_topology(args.require("topology"));
+  const double p = args.get_double("p", 0.5);
+  const std::string router_name = args.get("router", "landmark");
+  const std::uint64_t seed = args.get_u64("seed", 2005);
+
+  WorkloadConfig workload;
+  workload.kind = parse_workload(args.get("workload", "permutation"));
+  workload.messages = args.get_u64("messages", 1024);
+  workload.seed = args.get_u64("workload-seed", 1);
+  workload.hotspot_target = args.get_u64("target", 0);
+  workload.arrival_rate = args.get_double("rate", 1.0);
+
+  TrafficConfig config;
+  config.edge_capacity = args.get_u64("capacity", 1);
+  config.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  if (args.get_u64("budget", 0) > 0) config.probe_budget = args.get_u64("budget", 0);
+  const std::string cache_flag = args.get("shared-cache", "true");
+  if (cache_flag != "true" && cache_flag != "false") {
+    throw std::invalid_argument("--shared-cache must be 'true' or 'false', got '" +
+                                cache_flag + "'");
+  }
+  config.use_shared_cache = cache_flag == "true";
+
+  const HashEdgeSampler env(p, seed);
+  const auto messages = generate_workload(*graph, workload);
+  const auto factory = [&]() { return sim::make_router(router_name, *graph); };
+  const TrafficResult result = run_traffic(*graph, env, factory, messages, config);
+
+  traffic_table(result).print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" +
+                              router_name + "  workload=" + workload_name(workload.kind));
+  return 0;
+}
+
 void print_usage() {
   std::cout
-      << "usage: faultroute <route|components|threshold|trials> [--flags]\n\n"
+      << "usage: faultroute <route|components|threshold|trials|permutation|traffic>"
+         " [--flags]\n\n"
       << "topologies:";
   for (const auto& s : sim::topology_spec_examples()) std::cout << ' ' << s;
   std::cout << "\nrouters:   ";
   for (const auto& s : sim::router_names()) std::cout << ' ' << s;
-  std::cout << "\n\ncommon flags: --topology SPEC --p P --seed S --router NAME\n"
-            << "trials flags: --trials N --budget B --threads T --from U --to V\n";
+  std::cout << "\nworkloads: ";
+  for (const auto& s : workload_names()) std::cout << ' ' << s;
+  std::cout << "\n\ncommon flags:      --topology SPEC --p P --seed S --router NAME\n"
+            << "trials flags:      --trials N --budget B --threads T --from U --to V\n"
+            << "permutation flags: --pairs N --pair-seed S --budget B\n"
+            << "traffic flags:     --workload W --messages N --workload-seed S\n"
+            << "                   --capacity C --threads T --budget B --target V\n"
+            << "                   --rate R --shared-cache true|false\n";
 }
 
 }  // namespace
@@ -223,6 +301,8 @@ int main(int argc, char** argv) {
     if (command == "components") return cmd_components(args);
     if (command == "threshold") return cmd_threshold(args);
     if (command == "trials") return cmd_trials(args);
+    if (command == "permutation") return cmd_permutation(args);
+    if (command == "traffic") return cmd_traffic(args);
     print_usage();
     return 2;
   } catch (const std::exception& e) {
