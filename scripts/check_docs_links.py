@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans README.md and docs/**/*.md for markdown links and images. Every
+relative target must exist on disk (anchors are stripped; http/https/mailto
+links are skipped; a leading '/' means repo-root-relative). Exits 1 and
+lists every dead link otherwise.
+
+Usage: python3 scripts/check_docs_links.py  (from anywhere in the repo)
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) and ![alt](target); target runs to the first unescaped ')'.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: pathlib.Path):
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("**/*.md")) if (root / "docs").is_dir() else []
+    return [f for f in files if f.is_file()]
+
+
+def check_file(root: pathlib.Path, path: pathlib.Path):
+    dead = []
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks contain sample syntax, not navigable links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0]
+        if not plain:
+            continue
+        resolved = (root / plain.lstrip("/")) if plain.startswith("/") else (path.parent / plain)
+        if not resolved.exists():
+            dead.append((path, target))
+    return dead
+
+
+def main():
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = doc_files(root)
+    dead = [entry for f in files for entry in check_file(root, f)]
+    for path, target in dead:
+        print(f"DEAD LINK: {path.relative_to(root)} -> {target}")
+    print(f"checked {len(files)} files, {len(dead)} dead links")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,16 @@
 namespace faultroute {
 
 CycleWithMatching::CycleWithMatching(std::uint64_t n, std::uint64_t matching_seed)
-    : n_(n), seed_(matching_seed), match_(n) {
+    : n_(n), seed_(matching_seed) {
+  // Validate before match_ is sized: a nonsense n must throw
+  // invalid_argument, not fail the allocation.
   if (n < 4 || n % 2 != 0) {
     throw std::invalid_argument("CycleWithMatching: N must be even and >= 4");
   }
+  if (n > (std::uint64_t{1} << 32)) {
+    throw std::invalid_argument("CycleWithMatching: N must be <= 2^32 (matching is stored)");
+  }
+  match_.resize(n);
   // Uniform perfect matching: shuffle the vertices, pair consecutive entries.
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), 0);

@@ -1,0 +1,156 @@
+#include "scenario/reporter.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace faultroute::scenario {
+
+namespace {
+
+/// Shortest round-trippable-enough rendering; deterministic for a given
+/// value, so byte-identical reruns only need deterministic values.
+std::string fmt(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_str(const std::string& text) { return '"' + json_escape(text) + '"'; }
+
+/// JSON has no NaN/Inf literals; non-finite aggregates (which a pathological
+/// config could produce) become null rather than corrupting the stream.
+std::string json_num(double value) { return std::isfinite(value) ? fmt(value) : "null"; }
+
+std::string json_list(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_str(items[i]);
+  }
+  return out + ']';
+}
+
+std::string json_list(const std::vector<double>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_num(items[i]);
+  }
+  return out + ']';
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + '"';
+}
+
+}  // namespace
+
+void JsonLinesReporter::begin(const ScenarioSpec& spec) {
+  // `threads` is deliberately absent: results are independent of it, and the
+  // header must be too, so reports stay diffable across machines.
+  out_ << "{\"type\":\"header\",\"schema\":\"" << kSchemaName
+       << "\",\"schema_version\":" << kSchemaVersion << ",\"name\":" << json_str(spec.name)
+       << ",\"topologies\":" << json_list(spec.topologies)
+       << ",\"routers\":" << json_list(spec.routers)
+       << ",\"workloads\":" << json_list(spec.workloads)
+       << ",\"p\":" << json_list(spec.p_values) << ",\"messages\":" << spec.messages
+       << ",\"trials\":" << spec.trials << ",\"seed\":" << spec.seed
+       << ",\"capacity\":" << spec.edge_capacity << ",\"budget\":" << spec.probe_budget
+       << ",\"max_steps\":" << spec.max_steps << ",\"cells\":" << spec.num_cells() << "}\n";
+  cells_reported_ = 0;
+}
+
+void JsonLinesReporter::report(const CellResult& cell) {
+  out_ << "{\"type\":\"cell\",\"cell\":" << cell.cell
+       << ",\"topology\":" << json_str(cell.topology)
+       << ",\"topology_name\":" << json_str(cell.topology_name)
+       << ",\"vertices\":" << cell.vertices << ",\"p\":" << json_num(cell.p)
+       << ",\"router\":" << json_str(cell.router)
+       << ",\"workload\":" << json_str(cell.workload) << ",\"trial\":" << cell.trial
+       << ",\"env_seed\":" << cell.env_seed << ",\"workload_seed\":" << cell.workload_seed
+       << ",\"messages\":" << cell.messages << ",\"routed\":" << cell.routed
+       << ",\"failed_routing\":" << cell.failed_routing << ",\"censored\":" << cell.censored
+       << ",\"invalid_paths\":" << cell.invalid_paths << ",\"delivered\":" << cell.delivered
+       << ",\"stranded\":" << cell.stranded
+       << ",\"total_distinct_probes\":" << cell.total_distinct_probes
+       << ",\"unique_edges_probed\":" << cell.unique_edges_probed
+       << ",\"probe_amortization\":" << json_num(cell.probe_amortization)
+       << ",\"max_edge_load\":" << cell.max_edge_load
+       << ",\"mean_edge_load\":" << json_num(cell.mean_edge_load)
+       << ",\"edges_used\":" << cell.edges_used << ",\"makespan\":" << cell.makespan
+       << ",\"mean_queueing_delay\":" << json_num(cell.mean_queueing_delay)
+       << ",\"max_queueing_delay\":" << cell.max_queueing_delay
+       << ",\"mean_path_edges\":" << json_num(cell.mean_path_edges)
+       << ",\"throughput\":" << json_num(cell.throughput) << "}\n";
+  ++cells_reported_;
+}
+
+void JsonLinesReporter::end() {
+  // The footer marks a complete, untruncated report.
+  out_ << "{\"type\":\"footer\",\"cells_reported\":" << cells_reported_ << "}\n";
+  out_.flush();
+}
+
+void CsvReporter::begin(const ScenarioSpec& spec) {
+  scenario_name_ = spec.name;
+  out_ << "schema,scenario,cell,topology,topology_name,vertices,p,router,workload,trial,"
+          "env_seed,workload_seed,messages,routed,failed_routing,censored,invalid_paths,"
+          "delivered,stranded,total_distinct_probes,unique_edges_probed,probe_amortization,"
+          "max_edge_load,mean_edge_load,edges_used,makespan,mean_queueing_delay,"
+          "max_queueing_delay,mean_path_edges,throughput\n";
+}
+
+void CsvReporter::report(const CellResult& cell) {
+  out_ << kSchemaName << ',' << csv_escape(scenario_name_) << ',' << cell.cell << ','
+       << csv_escape(cell.topology) << ',' << csv_escape(cell.topology_name) << ','
+       << cell.vertices << ',' << fmt(cell.p) << ',' << csv_escape(cell.router) << ','
+       << csv_escape(cell.workload) << ',' << cell.trial << ',' << cell.env_seed << ','
+       << cell.workload_seed << ',' << cell.messages << ',' << cell.routed << ','
+       << cell.failed_routing << ',' << cell.censored << ',' << cell.invalid_paths << ','
+       << cell.delivered << ',' << cell.stranded << ',' << cell.total_distinct_probes << ','
+       << cell.unique_edges_probed << ',' << fmt(cell.probe_amortization) << ','
+       << cell.max_edge_load << ',' << fmt(cell.mean_edge_load) << ',' << cell.edges_used
+       << ',' << cell.makespan << ',' << fmt(cell.mean_queueing_delay) << ','
+       << cell.max_queueing_delay << ',' << fmt(cell.mean_path_edges) << ','
+       << fmt(cell.throughput) << '\n';
+}
+
+void CsvReporter::end() { out_.flush(); }
+
+std::unique_ptr<Reporter> make_reporter(const std::string& format, std::ostream& out) {
+  if (format == "jsonl") return std::make_unique<JsonLinesReporter>(out);
+  if (format == "csv") return std::make_unique<CsvReporter>(out);
+  throw std::invalid_argument("unknown report format '" + format + "' (known: jsonl, csv)");
+}
+
+}  // namespace faultroute::scenario

@@ -1,0 +1,139 @@
+#include "scenario/runner.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "percolation/edge_sampler.hpp"
+#include "random/rng.hpp"
+#include "sim/registry.hpp"
+#include "traffic/traffic_engine.hpp"
+#include "traffic/workload.hpp"
+
+namespace faultroute::scenario {
+
+namespace {
+
+/// Decoded coordinates of a flat cell index (row-major, trial fastest).
+struct CellCoords {
+  std::size_t topology, p, router, workload;
+  std::uint64_t trial;
+};
+
+CellCoords decode_cell(const ScenarioSpec& spec, std::uint64_t index) {
+  CellCoords c{};
+  c.trial = index % spec.trials;
+  index /= spec.trials;
+  c.workload = static_cast<std::size_t>(index % spec.workloads.size());
+  index /= spec.workloads.size();
+  c.router = static_cast<std::size_t>(index % spec.routers.size());
+  index /= spec.routers.size();
+  c.p = static_cast<std::size_t>(index % spec.p_values.size());
+  index /= spec.p_values.size();
+  c.topology = static_cast<std::size_t>(index);
+  return c;
+}
+
+}  // namespace
+
+RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
+  validate_scenario(spec);
+
+  // Fail-fast construction of every registry spec before any cell runs.
+  std::vector<std::unique_ptr<Topology>> topologies;
+  topologies.reserve(spec.topologies.size());
+  for (const auto& topo_spec : spec.topologies) {
+    topologies.push_back(sim::make_topology(topo_spec));
+  }
+  for (const auto& topology : topologies) {
+    for (const auto& router : spec.routers) (void)sim::make_router(router, *topology);
+  }
+  std::vector<WorkloadConfig> workloads;
+  workloads.reserve(spec.workloads.size());
+  for (const auto& workload_spec : spec.workloads) {
+    workloads.push_back(sim::make_workload(workload_spec));
+  }
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    if (workloads[w].kind != WorkloadKind::kHotspot) continue;
+    for (std::size_t t = 0; t < topologies.size(); ++t) {
+      if (workloads[w].hotspot_target >= topologies[t]->num_vertices()) {
+        throw std::invalid_argument("workload '" + spec.workloads[w] + "': hotspot target " +
+                                    std::to_string(workloads[w].hotspot_target) +
+                                    " out of range for topology '" + spec.topologies[t] +
+                                    "' (" + std::to_string(topologies[t]->num_vertices()) +
+                                    " vertices)");
+      }
+    }
+  }
+
+  const std::uint64_t cells = spec.num_cells();
+  std::vector<CellResult> results(cells);
+
+  parallel_index_loop(cells, spec.threads, [&]() {
+    return [&](std::size_t index) {
+      const auto coords = decode_cell(spec, index);
+      const Topology& topology = *topologies[coords.topology];
+
+      CellResult& cell = results[index];
+      cell.cell = index;
+      cell.topology = spec.topologies[coords.topology];
+      cell.topology_name = topology.name();
+      cell.vertices = topology.num_vertices();
+      cell.p = spec.p_values[coords.p];
+      cell.router = spec.routers[coords.router];
+      cell.workload = spec.workloads[coords.workload];
+      cell.trial = coords.trial;
+      cell.env_seed = derive_seed(spec.seed, 2 * index);
+      cell.workload_seed = derive_seed(spec.seed, 2 * index + 1);
+
+      WorkloadConfig workload = workloads[coords.workload];
+      workload.messages = spec.messages;
+      workload.seed = cell.workload_seed;
+      const auto messages = generate_workload(topology, workload);
+
+      TrafficConfig config;
+      config.edge_capacity = spec.edge_capacity;
+      if (spec.probe_budget > 0) config.probe_budget = spec.probe_budget;
+      config.max_steps = spec.max_steps;
+      config.threads = 1;  // parallelism is across cells, not within one
+      const HashEdgeSampler environment(cell.p, cell.env_seed);
+      const auto factory = [&]() { return sim::make_router(cell.router, topology); };
+      const TrafficResult traffic =
+          run_traffic(topology, environment, factory, messages, config);
+
+      cell.messages = traffic.messages;
+      cell.routed = traffic.routed;
+      cell.failed_routing = traffic.failed_routing;
+      cell.censored = traffic.censored;
+      cell.invalid_paths = traffic.invalid_paths;
+      cell.delivered = traffic.delivered;
+      cell.stranded = traffic.stranded;
+      cell.total_distinct_probes = traffic.total_distinct_probes;
+      cell.unique_edges_probed = traffic.unique_edges_probed;
+      cell.probe_amortization = traffic.probe_amortization();
+      cell.max_edge_load = traffic.max_edge_load;
+      cell.mean_edge_load = traffic.mean_edge_load;
+      cell.edges_used = traffic.edges_used;
+      cell.makespan = traffic.makespan;
+      cell.mean_queueing_delay = traffic.mean_queueing_delay;
+      cell.max_queueing_delay = traffic.max_queueing_delay;
+      cell.mean_path_edges = traffic.mean_path_edges;
+      cell.throughput = traffic.throughput();
+    };
+  });
+
+  RunSummary summary;
+  summary.cells = cells;
+  reporter.begin(spec);
+  for (const auto& cell : results) {
+    summary.messages += cell.messages;
+    summary.delivered += cell.delivered;
+    reporter.report(cell);
+  }
+  reporter.end();
+  return summary;
+}
+
+}  // namespace faultroute::scenario

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/reporter.hpp"
+#include "scenario/spec.hpp"
+
+namespace faultroute::scenario {
+
+/// Run totals, for the CLI's human-readable closing line (the machine
+/// record is whatever the Reporter wrote).
+struct RunSummary {
+  std::uint64_t cells = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t delivered = 0;
+};
+
+/// Executes every cell of the scenario's cross-product and streams the
+/// results through `reporter`.
+///
+/// Ordering: cells are indexed row-major over (topology, p, router,
+/// workload, trial) with trial fastest, and reported in ascending index
+/// order from the calling thread.
+///
+/// Seeding contract (the basis of reproducibility — see
+/// docs/ARCHITECTURE.md): cell i draws its percolation-environment seed as
+/// derive_seed(spec.seed, 2*i) and its workload seed as
+/// derive_seed(spec.seed, 2*i + 1). Seeds therefore depend only on
+/// (spec.seed, cell index): rerunning a spec reproduces every cell exactly,
+/// and editing one sweep axis leaves the *meaning* of seed streams of other
+/// cells well-defined (they shift with the index, not with wall clock or
+/// thread schedule).
+///
+/// Parallelism: cells are distributed over `spec.threads` workers
+/// (0 = hardware concurrency) via core/parallel's index loop; each cell's
+/// traffic simulation runs single-threaded inside its worker. Results and
+/// report bytes are identical for every thread count.
+///
+/// Fail-fast: all topology specs are constructed, all router names
+/// instantiated against each topology, and all workload specs parsed
+/// *before* the first cell runs, so a typo anywhere in the spec throws
+/// std::invalid_argument before any output is produced.
+RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter);
+
+}  // namespace faultroute::scenario

@@ -26,8 +26,9 @@ struct Options {
   [[nodiscard]] std::optional<std::string> csv_path(const std::string& table_name) const;
 };
 
-/// Parses argv; throws std::invalid_argument on unknown flags (benches pass
-/// through google-benchmark style args only when explicitly listed).
+/// Parses argv; throws std::invalid_argument on unknown flags or malformed
+/// values (benches pass through google-benchmark style args only when
+/// explicitly listed). argv[0] is ignored; argv is only read.
 [[nodiscard]] Options parse_options(int argc, char** argv);
 
 }  // namespace faultroute::sim

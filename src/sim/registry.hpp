@@ -6,11 +6,17 @@
 
 #include "core/router.hpp"
 #include "graph/topology.hpp"
+#include "traffic/workload.hpp"
 
 namespace faultroute::sim {
 
-/// String-spec factories for topologies and routers, used by the CLI tool
-/// and handy for config-driven experiments.
+/// String-spec factories for topologies, routers, and workloads — the
+/// registry behind the CLI tool and the scenario runner (`src/scenario/`).
+///
+/// All factories validate their input eagerly and throw
+/// `std::invalid_argument` with a message naming the offending spec on any
+/// malformed, unknown, or out-of-range input; they never truncate numbers
+/// silently. The full grammar reference lives in `docs/SCENARIOS.md`.
 ///
 /// Topology specs (colon-separated):
 ///   hypercube:<n>                  e.g. hypercube:12
@@ -29,6 +35,13 @@ namespace faultroute::sim {
 ///   bidirectional (oracle) | gnp-local | gnp-oracle |
 ///   double-tree-local | double-tree-oracle
 /// (the double-tree and gnp routers require the matching topology).
+///
+/// Workload specs (colon-separated, mirroring `WorkloadKind`):
+///   permutation                    one message per source, random permutation
+///   random-pairs                   independent uniform (source, target)
+///   hotspot[:<target>]             all-to-one onto vertex <target> (default 0)
+///   bisection                      first half -> second half
+///   poisson:<rate>                 open-loop arrivals, <rate> msgs/timestep > 0
 [[nodiscard]] std::unique_ptr<Topology> make_topology(const std::string& spec);
 
 /// `topology` is needed by routers bound to a concrete graph type
@@ -36,8 +49,15 @@ namespace faultroute::sim {
 [[nodiscard]] std::unique_ptr<Router> make_router(const std::string& name,
                                                   const Topology& topology);
 
+/// Parses a workload spec into a config with `kind`, `hotspot_target`, and
+/// `arrival_rate` set; `messages` and `seed` keep their defaults for the
+/// caller to fill in. Note the hotspot target is range-checked against the
+/// topology only when the workload is generated, not here.
+[[nodiscard]] WorkloadConfig make_workload(const std::string& spec);
+
 /// The specs/names understood above, for help text.
 [[nodiscard]] std::vector<std::string> topology_spec_examples();
 [[nodiscard]] std::vector<std::string> router_names();
+[[nodiscard]] std::vector<std::string> workload_spec_examples();
 
 }  // namespace faultroute::sim

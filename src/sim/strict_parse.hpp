@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace faultroute::sim {
+
+/// Strict whole-token number parsing shared by the registry and scenario
+/// spec grammars: the entire token must be consumed (no trailing garbage)
+/// and the value must fit the type (no silent truncation or wrapping).
+/// Returns nullopt on any violation; callers format their own errors so
+/// messages can name the key/spec they belong to.
+
+[[nodiscard]] inline std::optional<std::int64_t> strict_i64(const std::string& token) {
+  std::size_t consumed = 0;
+  try {
+    const std::int64_t value = std::stoll(token, &consumed);
+    if (consumed != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// stoull silently wraps negative input, so reject any sign up front.
+[[nodiscard]] inline std::optional<std::uint64_t> strict_u64(const std::string& token) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') return std::nullopt;
+  std::size_t consumed = 0;
+  try {
+    const std::uint64_t value = std::stoull(token, &consumed);
+    if (consumed != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+[[nodiscard]] inline std::optional<double> strict_f64(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  try {
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace faultroute::sim

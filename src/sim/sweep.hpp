@@ -6,10 +6,12 @@
 
 namespace faultroute::sim {
 
-/// Evenly spaced values lo..hi inclusive.
+/// Evenly spaced values lo..hi inclusive. Requires points >= 2 (throws
+/// std::invalid_argument otherwise); lo may exceed hi (descending sweep).
 [[nodiscard]] std::vector<double> linspace(double lo, double hi, int points);
 
-/// Logarithmically spaced values lo..hi inclusive (lo, hi > 0).
+/// Logarithmically spaced values lo..hi inclusive. Requires points >= 2 and
+/// lo, hi > 0 (throws std::invalid_argument otherwise).
 [[nodiscard]] std::vector<double> logspace(double lo, double hi, int points);
 
 /// The paper's hypercube parameterisation p = n^{-alpha}.
@@ -18,7 +20,8 @@ namespace faultroute::sim {
 }
 
 /// Geometric integer ladder: start, start*ratio, ... capped at `limit`,
-/// rounded and deduplicated.
+/// rounded and deduplicated. Requires start > 0 and ratio > 1 (throws
+/// std::invalid_argument otherwise); empty when start > limit.
 [[nodiscard]] std::vector<std::uint64_t> geometric_sizes(std::uint64_t start,
                                                          double ratio,
                                                          std::uint64_t limit);

@@ -33,6 +33,8 @@ namespace faultroute {
 /// contention negligible relative to router work.
 class SharedProbeCache final : public EdgeSampler {
  public:
+  /// `base` must outlive the cache and be thread-safe under const access
+  /// (all library samplers are; they are pure functions of the edge key).
   explicit SharedProbeCache(const EdgeSampler& base);
 
   /// Returns the cached answer, querying (and caching) `base` on first touch.

@@ -111,6 +111,24 @@ struct TrafficResult {
 /// through per-channel FIFO queues with `edge_capacity` transmissions per
 /// directed channel per timestep. Simultaneous queue admissions are ordered
 /// by message id, making the whole simulation deterministic.
+///
+/// Preconditions (all guaranteed by generate_workload): message ids are the
+/// dense indices 0..messages.size()-1 in vector order, inject_times are
+/// nondecreasing, and every source/target is a distinct valid vertex of
+/// `graph`. config.edge_capacity >= 1.
+///
+/// Thread-safety: `graph` and `sampler` are only read (both must be
+/// internally thread-safe under const access, which all library topologies
+/// and samplers are); `make_router` is invoked once per worker thread, and
+/// each returned router is driven by that worker alone. The caller keeps
+/// all four arguments alive for the duration of the call.
+///
+/// Units: all times (inject/finish/makespan/delay, max_steps) are discrete
+/// simulation timesteps; loads count message traversals of an edge.
+///
+/// Postcondition: the returned outcomes vector is indexed by message id,
+/// and every field of TrafficResult depends only on (graph, sampler,
+/// messages, config) — never on config.threads.
 [[nodiscard]] TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
                                         const RouterFactory& make_router,
                                         const std::vector<TrafficMessage>& messages,

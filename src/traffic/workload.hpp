@@ -33,9 +33,12 @@ struct WorkloadConfig {
   std::uint64_t messages = 1024;
   /// Seed for the demand pattern (the environment has its own seed).
   std::uint64_t seed = 1;
-  /// Target vertex of the kHotspot pattern.
+  /// Target vertex of the kHotspot pattern; must be < num_vertices of the
+  /// graph the workload is generated on.
   VertexId hotspot_target = 0;
-  /// Mean arrivals per timestep for kPoisson (must be > 0).
+  /// Mean arrivals per discrete timestep for kPoisson (must be > 0).
+  /// Inter-arrival gaps are exponential with mean 1/arrival_rate timesteps,
+  /// floored onto the integer clock.
   double arrival_rate = 1.0;
 };
 
@@ -49,9 +52,19 @@ struct WorkloadConfig {
 /// All accepted workload names, for help text.
 [[nodiscard]] std::vector<std::string> workload_names();
 
-/// Generates the message list for `config` on `graph`. Messages are returned
-/// with dense ids 0..n-1 in nondecreasing inject_time order; source != target
-/// for every message. Requires num_vertices >= 2.
+/// Generates the message list for `config` on `graph`.
+///
+/// Preconditions: graph.num_vertices() >= 2; for kHotspot,
+/// config.hotspot_target < num_vertices; for kPoisson,
+/// config.arrival_rate > 0 — violations throw std::invalid_argument.
+///
+/// Postconditions: exactly config.messages messages with dense ids 0..n-1
+/// in nondecreasing inject_time order and source != target for every
+/// message. The result is a pure function of (graph.num_vertices(), config):
+/// same inputs, same workload, on any machine or thread count.
+///
+/// Thread-safety: `graph` is only read; concurrent calls with separate
+/// configs are safe.
 [[nodiscard]] std::vector<TrafficMessage> generate_workload(const Topology& graph,
                                                             const WorkloadConfig& config);
 

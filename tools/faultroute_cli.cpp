@@ -7,6 +7,10 @@
 //   trials      routing-complexity measurement (Definition 2), with stats
 //   permutation batch-route random pairs and report path congestion
 //   traffic     store-and-forward congestion simulation of a workload
+//   scenario    run a declarative scenario spec (sweep cross-products) and
+//               emit schema-versioned JSON-lines or CSV
+//
+// Full reference: docs/CLI.md; scenario grammar: docs/SCENARIOS.md.
 //
 // Examples:
 //   faultroute route --topology hypercube:12 --p 0.35 --router landmark
@@ -17,9 +21,13 @@
 //   faultroute permutation --topology hypercube:10 --p 0.6 --router best-first --pairs 256
 //   faultroute traffic --topology hypercube:12 --p 0.5 --router greedy \
 //       --workload permutation --messages 4096
+//   faultroute scenario scenarios/hypercube_phase.scn
+//   faultroute scenario --spec "topology=hypercube:8; p=0.3:0.7:5; router=greedy"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -34,6 +42,9 @@
 #include "percolation/edge_sampler.hpp"
 #include "percolation/threshold.hpp"
 #include "random/rng.hpp"
+#include "scenario/reporter.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
 #include "sim/registry.hpp"
 #include "traffic/traffic_engine.hpp"
 #include "traffic/workload.hpp"
@@ -269,9 +280,56 @@ int cmd_traffic(const Args& args) {
   return 0;
 }
 
+/// `faultroute scenario [FILE] [--spec "k=v; ..."] [--format jsonl|csv]
+///                      [--out PATH] [--quick] [--seed S] [--threads T]`
+///
+/// FILE and --spec compose: the file is applied first, then the --spec
+/// assignments override it, then the dedicated flags override both. --quick
+/// shrinks messages/trials to CI-smoke size without touching the sweep axes.
+int cmd_scenario(const std::string& file, const Args& args) {
+  scenario::ScenarioSpec spec;
+  if (!file.empty()) spec = scenario::load_scenario_file(file);
+  const std::string inline_spec = args.get("spec", "");
+  if (file.empty() && inline_spec.empty()) {
+    throw std::invalid_argument("scenario needs a spec file argument or --spec \"...\"");
+  }
+  scenario::apply_scenario_assignments(spec, inline_spec);
+  spec.seed = args.get_u64("seed", spec.seed);
+  const std::uint64_t threads = args.get_u64("threads", spec.threads);
+  if (threads > 4096) {  // same cap as the spec grammar's `threads` key
+    throw std::invalid_argument("--threads capped at 4096, got " + std::to_string(threads));
+  }
+  spec.threads = static_cast<unsigned>(threads);
+  if (args.get("quick", "false") == "true") {
+    spec.messages = std::min<std::uint64_t>(spec.messages, 64);
+    spec.trials = std::min<std::uint64_t>(spec.trials, 2);
+  }
+  scenario::validate_scenario(spec);
+
+  const std::string format = args.get("format", "jsonl");
+  const std::string out_path = args.get("out", "");
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) throw std::runtime_error("cannot write --out file '" + out_path + "'");
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  const auto reporter = scenario::make_reporter(format, out);
+  const auto summary = scenario::run_scenario(spec, *reporter);
+  // Machine output goes to `out`; the human closing line goes to stderr so
+  // stdout stays clean for piping.
+  std::fprintf(stderr, "scenario '%s': %llu cells, %llu messages, %llu delivered (%s)\n",
+               spec.name.c_str(), static_cast<unsigned long long>(summary.cells),
+               static_cast<unsigned long long>(summary.messages),
+               static_cast<unsigned long long>(summary.delivered),
+               out_path.empty() ? "stdout" : out_path.c_str());
+  return 0;
+}
+
 void print_usage() {
   std::cout
-      << "usage: faultroute <route|components|threshold|trials|permutation|traffic>"
+      << "usage: faultroute <route|components|threshold|trials|permutation|traffic|scenario>"
          " [--flags]\n\n"
       << "topologies:";
   for (const auto& s : sim::topology_spec_examples()) std::cout << ' ' << s;
@@ -284,7 +342,10 @@ void print_usage() {
             << "permutation flags: --pairs N --pair-seed S --budget B\n"
             << "traffic flags:     --workload W --messages N --workload-seed S\n"
             << "                   --capacity C --threads T --budget B --target V\n"
-            << "                   --rate R --shared-cache true|false\n";
+            << "                   --rate R --shared-cache true|false\n"
+            << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
+            << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
+            << "\nfull reference: docs/CLI.md; scenario grammar: docs/SCENARIOS.md\n";
 }
 
 }  // namespace
@@ -296,6 +357,16 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    if (command == "scenario") {
+      // Optional positional spec-file argument before the --flags.
+      std::string file;
+      int first_flag = 2;
+      if (argc > 2 && std::string(argv[2]).rfind("--", 0) != 0) {
+        file = argv[2];
+        first_flag = 3;
+      }
+      return cmd_scenario(file, Args(argc, argv, first_flag));
+    }
     const Args args(argc, argv, 2);
     if (command == "route") return cmd_route(args);
     if (command == "components") return cmd_components(args);
