@@ -1,0 +1,289 @@
+// bench_delivery — A/B benchmark of the delivery phase: the event-driven
+// flat-channel engine (run_traffic) against the legacy container-based
+// engine (run_traffic_reference) on delivery-dominated workloads:
+//
+//   * poisson-long-horizon: an open-loop Poisson stream on a faulty torus,
+//     tens of thousands of timesteps — the regime the rewrite targets, where
+//     the old engine pays std::map/std::set node churn on every step.
+//   * hotspot-drain: all-to-one on a line, serialising every message through
+//     one edge — deep FIFO queues, few channels, maximal queue pressure.
+//   * permutation-burst: the paper's closed-loop permutation batch on the
+//     percolated hypercube — everything injected at t=0.
+//
+// Both engines share phase 1 (routing) verbatim, so the quantity of
+// interest is the *delivery phase*. Each engine reports its phase wall
+// times directly through TrafficConfig::timings (no noisy subtraction of
+// two end-to-end measurements); `speedup` is the delivery-phase ratio, and
+// end-to-end times are reported alongside so nothing hides (on a one-core
+// runner the shared routing phase dwarfs delivery). Metrics are
+// cross-checked and the process fails if the engines ever disagree, so the
+// bench doubles as a coarse golden test at scales the unit suite cannot
+// afford.
+//
+//   bench_delivery [--quick] [--json] [--out PATH] [--seed S] [--reps N]
+//
+// --json emits one machine-readable object (schema
+// faultroute.bench.delivery.v1, validated in CI by
+// scripts/check_bench_schema.py); the committed perf trajectory lives in
+// BENCH_traffic.json at the repo root.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/routers/greedy_router.hpp"
+#include "random/rng.hpp"
+#include "sim/registry.hpp"
+#include "traffic/traffic_engine.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace faultroute;
+
+struct BenchOptions {
+  bool quick = false;
+  bool json = false;
+  std::string out_path;
+  std::uint64_t seed = 20050701;
+  int reps = 0;  // 0 = default (3 full, 1 quick)
+};
+
+BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size() + 1 && arg.rfind(flag + "=", 0) == 0) {
+        return arg.substr(flag.size() + 1);
+      }
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      throw std::invalid_argument("bench_delivery: " + flag + " needs a value");
+    };
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--out" || arg.rfind("--out=", 0) == 0) {
+      options.out_path = value_of("--out");
+    } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::stoull(value_of("--seed"));
+    } else if (arg == "--reps" || arg.rfind("--reps=", 0) == 0) {
+      options.reps = std::stoi(value_of("--reps"));
+    } else {
+      throw std::invalid_argument("bench_delivery: unknown flag '" + arg +
+                                  "' (known: --quick --json --out --seed --reps)");
+    }
+  }
+  return options;
+}
+
+struct BenchCase {
+  std::string name;
+  std::string topology;
+  std::string workload;  // registry spec, e.g. "poisson:1"
+  double p;
+  std::uint64_t messages;
+  std::uint64_t capacity = 1;
+};
+
+struct BenchResult {
+  BenchCase spec;
+  TrafficResult traffic;        // from the event engine
+  double routing_ms = 0.0;      // shared phase 1 (reported by the event engine)
+  double event_delivery_ms = 0.0;
+  double reference_delivery_ms = 0.0;
+  double event_ms = 0.0;      // end-to-end, for context
+  double reference_ms = 0.0;  // end-to-end, for context
+  bool identical = false;
+  /// Delivery-phase speedup (the rewrite's target metric).
+  [[nodiscard]] double speedup() const {
+    return event_delivery_ms > 0.0 ? reference_delivery_ms / event_delivery_ms : 0.0;
+  }
+  [[nodiscard]] double end_to_end_speedup() const {
+    return event_ms > 0.0 ? reference_ms / event_ms : 0.0;
+  }
+};
+
+/// The engines must agree on everything observable (only the `channels`
+/// introspection counter legitimately differs).
+bool results_identical(const TrafficResult& a, const TrafficResult& b) {
+  if (a.routed != b.routed || a.failed_routing != b.failed_routing ||
+      a.censored != b.censored || a.invalid_paths != b.invalid_paths ||
+      a.delivered != b.delivered || a.stranded != b.stranded ||
+      a.total_distinct_probes != b.total_distinct_probes ||
+      a.unique_edges_probed != b.unique_edges_probed || a.makespan != b.makespan ||
+      a.max_edge_load != b.max_edge_load || a.edges_used != b.edges_used ||
+      a.mean_edge_load != b.mean_edge_load ||
+      a.mean_queueing_delay != b.mean_queueing_delay ||
+      a.max_queueing_delay != b.max_queueing_delay ||
+      a.mean_path_edges != b.mean_path_edges || a.sim_steps != b.sim_steps ||
+      a.admission_events != b.admission_events || a.transmissions != b.transmissions ||
+      a.peak_active_channels != b.peak_active_channels ||
+      a.outcomes.size() != b.outcomes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    if (a.outcomes[i].routed != b.outcomes[i].routed ||
+        a.outcomes[i].censored != b.outcomes[i].censored ||
+        a.outcomes[i].delivered != b.outcomes[i].delivered ||
+        a.outcomes[i].path_edges != b.outcomes[i].path_edges ||
+        a.outcomes[i].finish_time != b.outcomes[i].finish_time ||
+        a.outcomes[i].queueing_delay != b.outcomes[i].queueing_delay) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs `engine` `reps` times; keeps the best delivery-phase time and the
+/// matching routing/end-to-end times from that repetition.
+template <typename Engine>
+void best_delivery_run(int reps, const Engine& engine, double& routing_ms,
+                       double& delivery_ms, double& total_ms) {
+  for (int rep = 0; rep < reps; ++rep) {
+    TrafficPhaseTimings timings;
+    const auto start = std::chrono::steady_clock::now();
+    (void)engine(&timings);
+    const auto stop = std::chrono::steady_clock::now();
+    if (rep == 0 || timings.delivery_ms < delivery_ms) {
+      routing_ms = timings.routing_ms;
+      delivery_ms = timings.delivery_ms;
+      total_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    }
+  }
+}
+
+BenchResult run_case(const BenchCase& spec, const BenchOptions& options) {
+  const auto graph = sim::make_topology(spec.topology);
+  const HashEdgeSampler env(spec.p, derive_seed(options.seed, 1));
+  WorkloadConfig workload = sim::make_workload(spec.workload);
+  workload.messages = spec.messages;
+  workload.seed = derive_seed(options.seed, 2);
+  const auto messages = generate_workload(*graph, workload);
+  TrafficConfig config;
+  config.edge_capacity = spec.capacity;
+  const auto factory = [&]() { return std::make_unique<BestFirstRouter>(); };
+
+  BenchResult result;
+  result.spec = spec;
+  result.traffic = run_traffic(*graph, env, factory, messages, config);  // warm + verify
+  const TrafficResult reference = run_traffic_reference(*graph, env, factory, messages, config);
+  result.identical = results_identical(result.traffic, reference);
+
+  const int reps = options.reps > 0 ? options.reps : (options.quick ? 1 : 3);
+  double reference_routing_ms = 0.0;  // shared phase; the event engine's figure is reported
+  best_delivery_run(reps,
+                    [&](TrafficPhaseTimings* timings) {
+                      TrafficConfig timed = config;
+                      timed.timings = timings;
+                      return run_traffic(*graph, env, factory, messages, timed);
+                    },
+                    result.routing_ms, result.event_delivery_ms, result.event_ms);
+  best_delivery_run(reps,
+                    [&](TrafficPhaseTimings* timings) {
+                      TrafficConfig timed = config;
+                      timed.timings = timings;
+                      return run_traffic_reference(*graph, env, factory, messages, timed);
+                    },
+                    reference_routing_ms, result.reference_delivery_ms, result.reference_ms);
+  return result;
+}
+
+std::string json_report(const std::vector<BenchResult>& results, const BenchOptions& options) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"schema\":\"faultroute.bench.delivery.v1\",\"schema_version\":1"
+      << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"seed\":" << options.seed
+      << ",\"benchmarks\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << r.spec.name << "\",\"topology\":\"" << r.spec.topology
+        << "\",\"workload\":\"" << r.spec.workload << "\",\"p\":" << r.spec.p
+        << ",\"messages\":" << r.spec.messages << ",\"capacity\":" << r.spec.capacity
+        << ",\"routed\":" << r.traffic.routed << ",\"delivered\":" << r.traffic.delivered
+        << ",\"makespan\":" << r.traffic.makespan << ",\"sim_steps\":" << r.traffic.sim_steps
+        << ",\"transmissions\":" << r.traffic.transmissions
+        << ",\"channels\":" << r.traffic.channels << ",\"routing_ms\":" << r.routing_ms
+        << ",\"event_ms\":" << r.event_ms << ",\"reference_ms\":" << r.reference_ms
+        << ",\"event_delivery_ms\":" << r.event_delivery_ms
+        << ",\"reference_delivery_ms\":" << r.reference_delivery_ms
+        << ",\"speedup\":" << r.speedup()
+        << ",\"end_to_end_speedup\":" << r.end_to_end_speedup()
+        << ",\"identical\":" << (r.identical ? "true" : "false") << '}';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+int run(const BenchOptions& options) {
+  const std::vector<BenchCase> cases =
+      options.quick
+          ? std::vector<BenchCase>{
+                {"poisson-long-horizon", "torus:2:16", "poisson:1", 0.85, 3000},
+                {"hotspot-drain", "mesh:1:64", "hotspot:0", 1.0, 2000},
+                {"permutation-burst", "hypercube:9", "permutation", 0.6, 2048},
+            }
+          : std::vector<BenchCase>{
+                {"poisson-long-horizon", "torus:2:16", "poisson:1", 0.85, 30000},
+                {"hotspot-drain", "mesh:1:64", "hotspot:0", 1.0, 16000},
+                {"permutation-burst", "hypercube:10", "permutation", 0.6, 8192},
+            };
+
+  std::vector<BenchResult> results;
+  results.reserve(cases.size());
+  bool all_identical = true;
+  for (const BenchCase& spec : cases) {
+    results.push_back(run_case(spec, options));
+    all_identical = all_identical && results.back().identical;
+  }
+
+  if (options.json) {
+    const std::string report = json_report(results, options);
+    if (options.out_path.empty()) {
+      std::cout << report;
+    } else {
+      std::ofstream out(options.out_path);
+      if (!out) throw std::runtime_error("cannot write --out file '" + options.out_path + "'");
+      out << report;
+    }
+  } else {
+    Table table({"benchmark", "messages", "makespan", "transmissions", "routing_ms",
+                 "ref_delivery_ms", "event_delivery_ms", "speedup", "identical"});
+    for (const BenchResult& r : results) {
+      table.add_row({r.spec.name, Table::fmt(r.spec.messages), Table::fmt(r.traffic.makespan),
+                     Table::fmt(r.traffic.transmissions), Table::fmt(r.routing_ms, 1),
+                     Table::fmt(r.reference_delivery_ms, 1),
+                     Table::fmt(r.event_delivery_ms, 1), Table::fmt(r.speedup(), 2),
+                     r.identical ? "yes" : "NO"});
+    }
+    table.print("delivery engine A/B: legacy containers vs event-driven flat channels");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "bench_delivery: ENGINES DISAGREE — see 'identical' column\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_delivery: %s\n", e.what());
+    return 1;
+  }
+}

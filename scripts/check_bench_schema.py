@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validates a bench_delivery --json report against the expected schema.
+
+Usage: check_bench_schema.py REPORT.json
+
+Run by CI after `bench_delivery --quick --json --out REPORT.json` so the
+machine-readable perf trajectory (BENCH_traffic.json and the per-PR CI
+artifacts) stays parseable and complete. Exits non-zero with a message on
+the first violation.
+"""
+
+import json
+import sys
+
+SCHEMA_NAME = "faultroute.bench.delivery.v1"
+SCHEMA_VERSION = 1
+
+TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "quick": bool,
+    "seed": int,
+    "benchmarks": list,
+}
+
+BENCHMARK_FIELDS = {
+    "name": str,
+    "topology": str,
+    "workload": str,
+    "p": (int, float),
+    "messages": int,
+    "capacity": int,
+    "routed": int,
+    "delivered": int,
+    "makespan": int,
+    "sim_steps": int,
+    "transmissions": int,
+    "channels": int,
+    "routing_ms": (int, float),
+    "event_ms": (int, float),
+    "reference_ms": (int, float),
+    "event_delivery_ms": (int, float),
+    "reference_delivery_ms": (int, float),
+    "speedup": (int, float),
+    "end_to_end_speedup": (int, float),
+    "identical": bool,
+}
+
+
+def fail(message: str) -> None:
+    print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj: dict, fields: dict, where: str) -> None:
+    for key, expected in fields.items():
+        if key not in obj:
+            fail(f"{where}: missing field '{key}'")
+        value = obj[key]
+        # bool is an int subclass in Python; don't let booleans pass as ints.
+        if isinstance(value, bool) and expected is not bool:
+            fail(f"{where}: field '{key}' is a bool, expected {expected}")
+        if not isinstance(value, expected):
+            fail(f"{where}: field '{key}' has type {type(value).__name__}")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_schema.py REPORT.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {sys.argv[1]}: {error}")
+
+    check_fields(report, TOP_LEVEL, "top level")
+    if report["schema"] != SCHEMA_NAME:
+        fail(f"schema is '{report['schema']}', expected '{SCHEMA_NAME}'")
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail(f"schema_version is {report['schema_version']}, expected {SCHEMA_VERSION}")
+    if not report["benchmarks"]:
+        fail("benchmarks list is empty")
+
+    for i, bench in enumerate(report["benchmarks"]):
+        where = f"benchmarks[{i}]"
+        if not isinstance(bench, dict):
+            fail(f"{where}: not an object")
+        check_fields(bench, BENCHMARK_FIELDS, where)
+        if not bench["identical"]:
+            fail(f"{where} ('{bench['name']}'): engines disagree (identical=false)")
+        if bench["delivered"] > bench["routed"]:
+            fail(f"{where}: delivered > routed")
+        if bench["event_delivery_ms"] < 0 or bench["reference_delivery_ms"] < 0:
+            fail(f"{where}: negative delivery time")
+
+    names = [bench["name"] for bench in report["benchmarks"]]
+    print(
+        f"check_bench_schema: OK: {len(names)} benchmarks ({', '.join(names)}), "
+        f"quick={report['quick']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,6 @@ namespace faultroute {
 void Summary::add(double x) {
   values_.push_back(x);
   sum_ += x;
-  sum_sq_ += x * x;
   sorted_valid_ = false;
 }
 
@@ -19,12 +18,18 @@ double Summary::mean() const {
 }
 
 double Summary::variance() const {
-  const auto n = static_cast<double>(values_.size());
   if (values_.size() < 2) return 0.0;
   const double m = mean();
-  // Two-pass style correction from the accumulated moments.
-  const double var = (sum_sq_ - n * m * m) / (n - 1.0);
-  return var > 0.0 ? var : 0.0;
+  // True two-pass: sum squared deviations over the retained sample. The
+  // one-pass sum-of-squares shortcut (sum_sq - n*m^2) cancels
+  // catastrophically at large mean / small spread — e.g. {1e8, 1e8+1,
+  // 1e8+2} came out as variance 0 instead of 1.
+  double sum_sq_dev = 0.0;
+  for (const double x : values_) {
+    const double dev = x - m;
+    sum_sq_dev += dev * dev;
+  }
+  return sum_sq_dev / (static_cast<double>(values_.size()) - 1.0);
 }
 
 double Summary::stddev() const { return std::sqrt(variance()); }

@@ -15,7 +15,9 @@ class Summary {
   [[nodiscard]] std::size_t count() const { return values_.size(); }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const;
-  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2. Computed
+  /// two-pass over the retained values, so it stays exact at large mean /
+  /// small spread where the sum-of-squares shortcut cancels to 0.
   [[nodiscard]] double variance() const;
   [[nodiscard]] double stddev() const;
   /// Standard error of the mean.
@@ -29,7 +31,6 @@ class Summary {
  private:
   std::vector<double> values_;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
   mutable std::vector<double> sorted_;  // cache, invalidated on add
   mutable bool sorted_valid_ = false;
 };

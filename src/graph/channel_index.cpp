@@ -1,0 +1,65 @@
+#include "graph/channel_index.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace faultroute {
+
+ChannelIndex::ChannelIndex(const Topology& graph) : graph_(&graph) {
+  const std::uint64_t n = graph.num_vertices();
+  offsets_.resize(n + 1);
+  std::uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v] = total;
+    total += static_cast<std::uint64_t>(graph.degree(v));
+  }
+  offsets_[n] = total;
+  if (total > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("ChannelIndex: " + graph.name() + " has " +
+                            std::to_string(total) +
+                            " directed channels; ids are 32-bit (max 4294967295)");
+  }
+  num_channels_ = static_cast<std::uint32_t>(total);
+}
+
+VertexId ChannelIndex::tail(std::uint32_t channel) const {
+  // offsets_ is strictly increasing between distinct offsets (zero-degree
+  // vertices repeat a value, but then own no channel), so the tail is the
+  // last vertex whose offset is <= channel.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(),
+                                   static_cast<std::uint64_t>(channel));
+  return static_cast<VertexId>(it - offsets_.begin()) - 1;
+}
+
+int ChannelIndex::slot(std::uint32_t channel) const {
+  return static_cast<int>(channel - offsets_[tail(channel)]);
+}
+
+VertexId ChannelIndex::head(std::uint32_t channel) const {
+  const VertexId v = tail(channel);
+  return graph_->neighbor(v, static_cast<int>(channel - offsets_[v]));
+}
+
+EdgeKey ChannelIndex::edge_of(std::uint32_t channel) const {
+  const VertexId v = tail(channel);
+  return graph_->edge_key(v, static_cast<int>(channel - offsets_[v]));
+}
+
+std::uint32_t ChannelIndex::reverse(std::uint32_t channel) const {
+  const VertexId v = tail(channel);
+  const int i = static_cast<int>(channel - offsets_[v]);
+  const VertexId w = graph_->neighbor(v, i);
+  const EdgeKey key = graph_->edge_key(v, i);
+  const int deg = graph_->degree(w);
+  for (int j = 0; j < deg; ++j) {
+    if (graph_->neighbor(w, j) == v && graph_->edge_key(w, j) == key) {
+      return channel_of(w, j);
+    }
+  }
+  throw std::logic_error("ChannelIndex::reverse: no matching reverse slot for edge key " +
+                         std::to_string(key) + " — edge_key symmetry contract violated by " +
+                         graph_->name());
+}
+
+}  // namespace faultroute

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+/// Dense index of the *directed channels* of a topology.
+///
+/// A channel is one direction of one undirected edge — the unit that queues
+/// independently in store-and-forward delivery. Channels are numbered
+/// contiguously in [0, num_channels()): vertex v's outgoing channels occupy
+/// the slice [offset(v), offset(v) + degree(v)), in incident-slot order, so
+/// the id of the channel out of v through slot i is plain arithmetic
+/// (no hashing, no node-based containers on the delivery hot path).
+///
+/// num_channels() equals the degree sum of the graph — 2·num_edges(), with
+/// parallel edges (e.g. the k=2 wrapped butterfly) contributing one channel
+/// pair each. Ids are 32-bit by design: the traffic engine stores one id per
+/// journey hop, and a graph with >= 2^32 directed channels is past what a
+/// single delivery simulation can drive anyway; the constructor throws
+/// std::length_error rather than truncate.
+///
+/// The index stores only a prefix-sum offset table (8 bytes per vertex) and
+/// borrows the topology, which must outlive it. All methods are const and
+/// thread-safe. Build once per topology — Topology::channel_index() caches
+/// exactly that.
+class ChannelIndex {
+ public:
+  explicit ChannelIndex(const Topology& graph);
+
+  /// Total directed channels (== degree sum of the graph).
+  [[nodiscard]] std::uint32_t num_channels() const { return num_channels_; }
+
+  /// Id of the channel out of `v` through incident slot `i` (i in
+  /// [0, degree(v))). O(1).
+  [[nodiscard]] std::uint32_t channel_of(VertexId v, int i) const {
+    return static_cast<std::uint32_t>(offsets_[v] + static_cast<std::uint64_t>(i));
+  }
+
+  /// The vertex the channel transmits out of. O(log V) (binary search of the
+  /// offset table) — used for reporting/aggregation, never on the hot loop.
+  [[nodiscard]] VertexId tail(std::uint32_t channel) const;
+
+  /// The incident slot of the channel at its tail vertex.
+  [[nodiscard]] int slot(std::uint32_t channel) const;
+
+  /// The vertex the channel transmits into.
+  [[nodiscard]] VertexId head(std::uint32_t channel) const;
+
+  /// Canonical key of the undirected edge the channel belongs to.
+  [[nodiscard]] EdgeKey edge_of(std::uint32_t channel) const;
+
+  /// The opposite direction of the same undirected edge, identified by the
+  /// symmetric-edge-key contract (which also disambiguates parallel edges).
+  /// Involutive: reverse(reverse(c)) == c. Throws std::logic_error if the
+  /// topology violates the edge_key symmetry contract.
+  [[nodiscard]] std::uint32_t reverse(std::uint32_t channel) const;
+
+ private:
+  const Topology* graph_;
+  std::vector<std::uint64_t> offsets_;  // size V+1: prefix sums of degree
+  std::uint32_t num_channels_ = 0;
+};
+
+}  // namespace faultroute

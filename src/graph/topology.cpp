@@ -4,7 +4,19 @@
 #include <queue>
 #include <unordered_map>
 
+#include "graph/channel_index.hpp"
+
 namespace faultroute {
+
+Topology::Topology() = default;
+Topology::Topology(const Topology&) {}
+Topology::~Topology() = default;
+
+const ChannelIndex& Topology::channel_index() const {
+  std::call_once(channel_index_once_,
+                 [this] { channel_index_ = std::make_unique<ChannelIndex>(*this); });
+  return *channel_index_;
+}
 
 std::uint64_t Topology::distance(VertexId u, VertexId v) const {
   if (u == v) return 0;

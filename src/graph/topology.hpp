@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace faultroute {
+
+class ChannelIndex;
 
 /// Vertex identifier. Every topology numbers its vertices contiguously in
 /// [0, num_vertices()), so analyses may use vertex-indexed arrays.
@@ -39,7 +43,16 @@ struct EdgeEndpoints {
 ///    with a closed-form metric override them.
 class Topology {
  public:
-  virtual ~Topology() = default;
+  Topology();
+  /// Copy-construction shares nothing: the lazily-built channel-index cache
+  /// stays with the original and is rebuilt on demand by the copy.
+  /// Copy-assignment is deleted outright — a once-built cache cannot be
+  /// invalidated (std::once_flag is not resettable), so assigning a
+  /// different graph over a topology that already built its index would
+  /// leave a stale index behind.
+  Topology(const Topology&);
+  Topology& operator=(const Topology&) = delete;
+  virtual ~Topology();
 
   /// Number of vertices.
   [[nodiscard]] virtual std::uint64_t num_vertices() const = 0;
@@ -77,6 +90,18 @@ class Topology {
   /// Printable label for a vertex (default: its numeric id). Topologies with
   /// structured vertices (mesh coordinates, butterfly (level,row)) override.
   [[nodiscard]] virtual std::string vertex_label(VertexId v) const;
+
+  /// The dense directed-channel index of this topology (see
+  /// graph/channel_index.hpp): channel = one direction of one undirected
+  /// edge, ids contiguous in [0, degree sum). Built lazily on first use and
+  /// cached — O(num_vertices()) once, O(1) thereafter — so repeated traffic
+  /// runs over the same topology (scenario sweeps) share one index.
+  /// Thread-safe under const access, like the rest of the interface.
+  [[nodiscard]] const ChannelIndex& channel_index() const;
+
+ private:
+  mutable std::once_flag channel_index_once_;
+  mutable std::unique_ptr<ChannelIndex> channel_index_;
 };
 
 /// Finds the incident-edge index i such that neighbor(u, i) == v,

@@ -111,7 +111,12 @@ void JsonLinesReporter::report(const CellResult& cell) {
        << ",\"mean_queueing_delay\":" << json_num(cell.mean_queueing_delay)
        << ",\"max_queueing_delay\":" << cell.max_queueing_delay
        << ",\"mean_path_edges\":" << json_num(cell.mean_path_edges)
-       << ",\"throughput\":" << json_num(cell.throughput) << "}\n";
+       << ",\"throughput\":" << json_num(cell.throughput)
+       << ",\"sim_steps\":" << cell.sim_steps
+       << ",\"admission_events\":" << cell.admission_events
+       << ",\"transmissions\":" << cell.transmissions
+       << ",\"peak_active_channels\":" << cell.peak_active_channels
+       << ",\"channels\":" << cell.channels << "}\n";
   ++cells_reported_;
 }
 
@@ -127,7 +132,8 @@ void CsvReporter::begin(const ScenarioSpec& spec) {
           "env_seed,workload_seed,messages,routed,failed_routing,censored,invalid_paths,"
           "delivered,stranded,total_distinct_probes,unique_edges_probed,probe_amortization,"
           "max_edge_load,mean_edge_load,edges_used,makespan,mean_queueing_delay,"
-          "max_queueing_delay,mean_path_edges,throughput\n";
+          "max_queueing_delay,mean_path_edges,throughput,sim_steps,admission_events,"
+          "transmissions,peak_active_channels,channels\n";
 }
 
 void CsvReporter::report(const CellResult& cell) {
@@ -142,7 +148,9 @@ void CsvReporter::report(const CellResult& cell) {
        << cell.max_edge_load << ',' << fmt(cell.mean_edge_load) << ',' << cell.edges_used
        << ',' << cell.makespan << ',' << fmt(cell.mean_queueing_delay) << ','
        << cell.max_queueing_delay << ',' << fmt(cell.mean_path_edges) << ','
-       << fmt(cell.throughput) << '\n';
+       << fmt(cell.throughput) << ',' << cell.sim_steps << ',' << cell.admission_events
+       << ',' << cell.transmissions << ',' << cell.peak_active_channels << ','
+       << cell.channels << '\n';
 }
 
 void CsvReporter::end() { out_.flush(); }

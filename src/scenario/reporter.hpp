@@ -12,8 +12,8 @@ namespace faultroute::scenario {
 /// Schema identifier stamped into every report so downstream tooling can
 /// diff result sets across PRs. Bump the version whenever a field is added,
 /// removed, renamed, or its meaning/units change.
-inline constexpr int kSchemaVersion = 1;
-inline constexpr const char* kSchemaName = "faultroute.scenario.v1";
+inline constexpr int kSchemaVersion = 2;
+inline constexpr const char* kSchemaName = "faultroute.scenario.v2";
 
 /// One cell of a scenario's cross-product: the aggregate traffic metrics of
 /// one (topology, p, router, workload, trial) combination. Field meanings
@@ -49,6 +49,14 @@ struct CellResult {
   std::uint64_t max_queueing_delay = 0;
   double mean_path_edges = 0.0;
   double throughput = 0.0;
+
+  // Delivery-engine counters (schema v2): the event-driven simulator's work
+  // and footprint — see TrafficResult and docs/ARCHITECTURE.md.
+  std::uint64_t sim_steps = 0;
+  std::uint64_t admission_events = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t peak_active_channels = 0;
+  std::uint64_t channels = 0;
 };
 
 /// Sink for scenario results. The runner guarantees the call order

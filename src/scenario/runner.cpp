@@ -121,6 +121,11 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
       cell.max_queueing_delay = traffic.max_queueing_delay;
       cell.mean_path_edges = traffic.mean_path_edges;
       cell.throughput = traffic.throughput();
+      cell.sim_steps = traffic.sim_steps;
+      cell.admission_events = traffic.admission_events;
+      cell.transmissions = traffic.transmissions;
+      cell.peak_active_channels = traffic.peak_active_channels;
+      cell.channels = traffic.channels;
     };
   });
 

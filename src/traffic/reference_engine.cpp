@@ -1,0 +1,177 @@
+// The pre-rewrite delivery engine, kept as a differential-testing oracle for
+// the event-driven engine in traffic_engine.cpp. Phase 1 (routing) is shared
+// code; phase 2 below is the original container-based simulation — std::map
+// admissions timeline, std::set busy list, per-channel std::deque queues —
+// preserved behaviour-for-behaviour, including the unbounded growth of the
+// `queues` table (drained entries are never erased), which is exactly why it
+// was replaced. tests/test_traffic_golden.cpp holds both engines bit-for-bit
+// equal; bench/bench_delivery.cpp measures the gap.
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/edge_load.hpp"
+#include "random/splitmix64.hpp"
+#include "traffic/routing_phase.hpp"
+#include "traffic/traffic_engine.hpp"
+
+namespace faultroute {
+
+namespace {
+
+/// A directed transmission channel: the undirected edge `key` traversed out
+/// of vertex `from`. The two directions of an edge queue independently.
+using ChannelKey = std::pair<EdgeKey, VertexId>;
+
+struct ChannelHash {
+  std::size_t operator()(const ChannelKey& c) const noexcept {
+    return static_cast<std::size_t>(hash_pair(c.first, c.second));
+  }
+};
+
+/// One message's routed journey: the channel of every hop, in order.
+struct Journey {
+  std::vector<ChannelKey> hops;
+  std::size_t next_hop = 0;
+};
+
+}  // namespace
+
+TrafficResult run_traffic_reference(const Topology& graph, const EdgeSampler& sampler,
+                                    const RouterFactory& make_router,
+                                    const std::vector<TrafficMessage>& messages,
+                                    const TrafficConfig& config) {
+  if (config.edge_capacity == 0) {
+    throw std::invalid_argument("run_traffic: edge_capacity must be >= 1");
+  }
+  if (messages.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "run_traffic: message ids are 32-bit; at most 4294967295 messages per run");
+  }
+  TrafficResult result;
+  result.messages = messages.size();
+  result.outcomes.resize(messages.size());
+  const auto phase_start = std::chrono::steady_clock::now();
+
+  // ---------------------------------------------------------- phase 1: route
+  const auto routed =
+      detail::route_and_validate(graph, sampler, make_router, messages, config, result);
+
+  std::vector<Journey> journeys(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const auto& journey = routed[i];
+    journeys[i].hops.reserve(journey.slots.size());
+    for (std::size_t step = 0; step < journey.slots.size(); ++step) {
+      journeys[i].hops.emplace_back(
+          graph.edge_key(journey.path[step], journey.slots[step]), journey.path[step]);
+    }
+  }
+  const auto delivery_start = std::chrono::steady_clock::now();
+  if (config.timings) {
+    config.timings->routing_ms =
+        std::chrono::duration<double, std::milli>(delivery_start - phase_start).count();
+  }
+
+  // -------------------------------------------------------- phase 2: deliver
+  // Discrete-time store-and-forward: at each step, first admit arriving
+  // messages to their next channel queue (ordered by message id, so the
+  // simulation is deterministic), then every channel transmits up to
+  // `edge_capacity` messages, which arrive at the far endpoint next step.
+  std::unordered_map<ChannelKey, std::deque<std::uint32_t>, ChannelHash> queues;
+  std::set<ChannelKey> busy;  // ordered: deterministic iteration
+  std::map<std::uint64_t, std::vector<std::uint32_t>> admissions;  // time -> ids
+  std::unordered_map<EdgeKey, std::uint64_t> edge_load;
+
+  std::uint64_t in_flight = 0;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (!result.outcomes[i].routed) continue;
+    admissions[messages[i].inject_time].push_back(static_cast<std::uint32_t>(i));
+    ++in_flight;
+  }
+
+  std::uint64_t t = 0;
+  std::uint64_t steps = 0;
+  while (in_flight > 0 && (!admissions.empty() || !busy.empty())) {
+    if (busy.empty()) t = admissions.begin()->first;  // skip idle gaps
+    if (config.max_steps != 0 && steps >= config.max_steps) break;
+    ++steps;
+
+    const auto due = admissions.find(t);
+    if (due != admissions.end()) {
+      std::sort(due->second.begin(), due->second.end());
+      result.admission_events += due->second.size();
+      for (const std::uint32_t id : due->second) {
+        Journey& journey = journeys[id];
+        if (journey.next_hop == journey.hops.size()) {
+          MessageOutcome& out = result.outcomes[id];
+          out.delivered = true;
+          out.finish_time = t;
+          out.queueing_delay = t - out.message.inject_time - out.path_edges;
+          --in_flight;
+          continue;
+        }
+        const ChannelKey& channel = journey.hops[journey.next_hop];
+        queues[channel].push_back(id);
+        busy.insert(channel);
+      }
+      admissions.erase(due);
+    }
+    result.peak_active_channels =
+        std::max<std::uint64_t>(result.peak_active_channels, busy.size());
+
+    std::vector<ChannelKey> drained;
+    for (const ChannelKey& channel : busy) {
+      std::deque<std::uint32_t>& queue = queues[channel];
+      for (std::uint64_t slot = 0; slot < config.edge_capacity && !queue.empty(); ++slot) {
+        const std::uint32_t id = queue.front();
+        queue.pop_front();
+        ++journeys[id].next_hop;
+        ++edge_load[channel.first];
+        ++result.transmissions;
+        admissions[t + 1].push_back(id);
+      }
+      if (queue.empty()) drained.push_back(channel);
+    }
+    for (const ChannelKey& channel : drained) busy.erase(channel);
+    ++t;
+  }
+  result.stranded = in_flight;
+  result.sim_steps = steps;
+
+  // ------------------------------------------------------------- aggregation
+  const EdgeLoadStats congestion = summarize_edge_load(edge_load);
+  result.max_edge_load = congestion.max_load;
+  result.edges_used = congestion.edges_used;
+  result.mean_edge_load = congestion.mean_load;
+
+  double delay_sum = 0.0;
+  double hops_sum = 0.0;
+  for (const MessageOutcome& out : result.outcomes) {
+    if (!out.delivered) continue;
+    ++result.delivered;
+    result.makespan = std::max(result.makespan, out.finish_time);
+    delay_sum += static_cast<double>(out.queueing_delay);
+    result.max_queueing_delay = std::max(result.max_queueing_delay, out.queueing_delay);
+    hops_sum += static_cast<double>(out.path_edges);
+  }
+  if (result.delivered > 0) {
+    result.mean_queueing_delay = delay_sum / static_cast<double>(result.delivered);
+    result.mean_path_edges = hops_sum / static_cast<double>(result.delivered);
+  }
+  if (config.timings) {
+    config.timings->delivery_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  delivery_start)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace faultroute

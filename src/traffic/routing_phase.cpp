@@ -1,0 +1,111 @@
+#include "traffic/routing_phase.hpp"
+
+#include <memory>
+#include <optional>
+
+#include "core/parallel.hpp"
+#include "traffic/shared_probe_cache.hpp"
+
+namespace faultroute::detail {
+
+namespace {
+
+/// Routing proper: every message independently through the (cached)
+/// environment. Messages are independent, so a work-stealing index loop with
+/// a fresh-per-thread router reproduces the sequential outcome exactly.
+void route_all(const Topology& graph, const EdgeSampler& env,
+               const RouterFactory& make_router,
+               const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
+               std::vector<MessageOutcome>& outcomes, std::vector<Path>& paths) {
+  parallel_index_loop(messages.size(), config.threads, [&] {
+    const std::shared_ptr<Router> router = make_router();
+    return [&, router](std::size_t i) {
+      const TrafficMessage& msg = messages[i];
+      MessageOutcome& out = outcomes[i];
+      out.message = msg;
+      if (msg.source == msg.target) {
+        out.routed = true;
+        paths[i] = Path{msg.source};
+        return;
+      }
+      ProbeContext ctx(graph, env, msg.source, router->required_mode(),
+                       config.probe_budget);
+      std::optional<Path> path;
+      try {
+        path = router->route(ctx, msg.source, msg.target);
+      } catch (const ProbeBudgetExceeded&) {
+        out.censored = true;
+      }
+      out.distinct_probes = ctx.distinct_probes();
+      if (path) {
+        out.routed = true;
+        // Routers may legally return walks; forwarding a loop would burn
+        // capacity for nothing, so ship along the simplified path.
+        paths[i] = simplify_walk(*path);
+        out.path_edges = path_length(paths[i]);
+      }
+    };
+  });
+}
+
+}  // namespace
+
+std::vector<RoutedJourney> route_and_validate(
+    const Topology& graph, const EdgeSampler& sampler, const RouterFactory& make_router,
+    const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
+    TrafficResult& result) {
+  std::vector<Path> paths(messages.size());
+
+  std::optional<SharedProbeCache> cache;
+  if (config.use_shared_cache) cache.emplace(sampler);
+  const EdgeSampler& env = config.use_shared_cache ? static_cast<const EdgeSampler&>(*cache)
+                                                   : sampler;
+  route_all(graph, env, make_router, messages, config, result.outcomes, paths);
+  if (cache) result.unique_edges_probed = cache->unique_edges();
+
+  // Validate paths and resolve every hop's incident slot.
+  std::vector<RoutedJourney> journeys(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    MessageOutcome& out = result.outcomes[i];
+    result.total_distinct_probes += out.distinct_probes;
+    if (out.censored) {
+      ++result.censored;
+      continue;
+    }
+    if (!out.routed) {
+      ++result.failed_routing;
+      continue;
+    }
+    // Validate before counting as routed, so the exact partition
+    // routed + failed + censored + invalid == messages holds.
+    Path& path = paths[i];
+    if (config.verify_paths &&
+        !is_valid_open_path(graph, sampler, path, out.message.source, out.message.target)) {
+      ++result.invalid_paths;
+      out.routed = false;
+      continue;
+    }
+    RoutedJourney& journey = journeys[i];
+    journey.slots.reserve(path.size() > 0 ? path.size() - 1 : 0);
+    bool ok = true;
+    for (std::size_t step = 0; step + 1 < path.size(); ++step) {
+      const int idx = edge_index_of(graph, path[step], path[step + 1]);
+      if (idx < 0) {  // unreachable when verify_paths is on; defensive otherwise
+        ok = false;
+        break;
+      }
+      journey.slots.push_back(idx);
+    }
+    if (!ok) {
+      ++result.invalid_paths;
+      out.routed = false;
+      journey.slots.clear();
+      continue;
+    }
+    journey.path = std::move(path);
+    ++result.routed;
+  }
+  return journeys;
+}
+
+}  // namespace faultroute::detail

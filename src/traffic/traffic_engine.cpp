@@ -1,74 +1,26 @@
 #include "traffic/traffic_engine.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <map>
-#include <memory>
-#include <set>
-#include <unordered_map>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 #include "core/edge_load.hpp"
-#include "core/parallel.hpp"
-#include "random/splitmix64.hpp"
-#include "traffic/shared_probe_cache.hpp"
+#include "graph/channel_index.hpp"
+#include "traffic/routing_phase.hpp"
 
 namespace faultroute {
 
 namespace {
 
-/// A directed transmission channel: the undirected edge `key` traversed out
-/// of vertex `from`. The two directions of an edge queue independently.
-using ChannelKey = std::pair<EdgeKey, VertexId>;
+/// Sentinel for "no message" in the intrusive per-channel FIFOs.
+constexpr std::uint32_t kNoMessage = std::numeric_limits<std::uint32_t>::max();
 
-struct ChannelHash {
-  std::size_t operator()(const ChannelKey& c) const noexcept {
-    return static_cast<std::size_t>(hash_pair(c.first, c.second));
-  }
-};
-
-/// One message's routed journey: the channel of every hop, in order.
-struct Journey {
-  std::vector<ChannelKey> hops;
-  std::size_t next_hop = 0;
-};
-
-/// Phase 1: route every message through the (cached) environment.
-/// Messages are independent, so a work-stealing index loop with a
-/// fresh-per-thread router reproduces the sequential outcome exactly.
-void route_all(const Topology& graph, const EdgeSampler& env,
-               const RouterFactory& make_router,
-               const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
-               std::vector<MessageOutcome>& outcomes, std::vector<Path>& paths) {
-  parallel_index_loop(messages.size(), config.threads, [&] {
-    const std::shared_ptr<Router> router = make_router();
-    return [&, router](std::size_t i) {
-      const TrafficMessage& msg = messages[i];
-      MessageOutcome& out = outcomes[i];
-      out.message = msg;
-      if (msg.source == msg.target) {
-        out.routed = true;
-        paths[i] = Path{msg.source};
-        return;
-      }
-      ProbeContext ctx(graph, env, msg.source, router->required_mode(),
-                       config.probe_budget);
-      std::optional<Path> path;
-      try {
-        path = router->route(ctx, msg.source, msg.target);
-      } catch (const ProbeBudgetExceeded&) {
-        out.censored = true;
-      }
-      out.distinct_probes = ctx.distinct_probes();
-      if (path) {
-        out.routed = true;
-        // Routers may legally return walks; forwarding a loop would burn
-        // capacity for nothing, so ship along the simplified path.
-        paths[i] = simplify_walk(*path);
-        out.path_edges = path_length(paths[i]);
-      }
-    };
-  });
+/// Milliseconds since `since`, for the optional phase instrumentation.
+double ms_since(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - since)
+      .count();
 }
 
 }  // namespace
@@ -80,124 +32,155 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   if (config.edge_capacity == 0) {
     throw std::invalid_argument("run_traffic: edge_capacity must be >= 1");
   }
+  if (messages.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "run_traffic: message ids are 32-bit; at most 4294967295 messages per run");
+  }
   TrafficResult result;
   result.messages = messages.size();
   result.outcomes.resize(messages.size());
-  std::vector<Path> paths(messages.size());
+  const auto phase_start = std::chrono::steady_clock::now();
 
   // ---------------------------------------------------------- phase 1: route
-  std::optional<SharedProbeCache> cache;
-  if (config.use_shared_cache) cache.emplace(sampler);
-  const EdgeSampler& env = config.use_shared_cache ? static_cast<const EdgeSampler&>(*cache)
-                                                   : sampler;
-  route_all(graph, env, make_router, messages, config, result.outcomes, paths);
-  if (cache) result.unique_edges_probed = cache->unique_edges();
-
-  // Validate paths and compile journeys (per-hop channel keys).
-  std::vector<Journey> journeys(messages.size());
-  for (std::size_t i = 0; i < messages.size(); ++i) {
-    MessageOutcome& out = result.outcomes[i];
-    result.total_distinct_probes += out.distinct_probes;
-    if (out.censored) {
-      ++result.censored;
-      continue;
-    }
-    if (!out.routed) {
-      ++result.failed_routing;
-      continue;
-    }
-    // Validate before counting as routed, so the exact partition
-    // routed + failed + censored + invalid == messages holds.
-    const Path& path = paths[i];
-    if (config.verify_paths &&
-        !is_valid_open_path(graph, sampler, path, out.message.source, out.message.target)) {
-      ++result.invalid_paths;
-      out.routed = false;
-      continue;
-    }
-    Journey& journey = journeys[i];
-    journey.hops.reserve(path.size() > 0 ? path.size() - 1 : 0);
-    bool ok = true;
-    for (std::size_t step = 0; step + 1 < path.size(); ++step) {
-      const int idx = edge_index_of(graph, path[step], path[step + 1]);
-      if (idx < 0) {  // unreachable when verify_paths is on; defensive otherwise
-        ok = false;
-        break;
-      }
-      journey.hops.emplace_back(graph.edge_key(path[step], idx), path[step]);
-    }
-    if (!ok) {
-      ++result.invalid_paths;
-      out.routed = false;
-      journey.hops.clear();
-      continue;
-    }
-    ++result.routed;
-  }
+  const auto journeys =
+      detail::route_and_validate(graph, sampler, make_router, messages, config, result);
 
   // -------------------------------------------------------- phase 2: deliver
-  // Discrete-time store-and-forward: at each step, first admit arriving
-  // messages to their next channel queue (ordered by message id, so the
-  // simulation is deterministic), then every channel transmits up to
+  // Event-driven store-and-forward over dense directed-channel ids. Semantics
+  // are identical to the reference engine (see run_traffic_reference): at
+  // each timestep, messages due now are admitted to their next channel queue
+  // in ascending-id order, then every non-empty channel transmits up to
   // `edge_capacity` messages, which arrive at the far endpoint next step.
-  std::unordered_map<ChannelKey, std::deque<std::uint32_t>, ChannelHash> queues;
-  std::set<ChannelKey> busy;  // ordered: deterministic iteration
-  std::map<std::uint64_t, std::vector<std::uint32_t>> admissions;  // time -> ids
-  std::unordered_map<EdgeKey, std::uint64_t> edge_load;
+  const ChannelIndex& index = graph.channel_index();
+  result.channels = index.num_channels();
 
-  std::uint64_t in_flight = 0;
+  // Journeys compiled flat: one uint32 channel id per hop, all hops
+  // concatenated; per message a [cursor, end) window into the flat array.
+  std::uint64_t total_hops = 0;
+  for (const auto& journey : journeys) total_hops += journey.slots.size();
+  std::vector<std::uint32_t> hop_channel;
+  hop_channel.reserve(total_hops);
+  std::vector<std::uint64_t> hop_cursor(messages.size(), 0);
+  std::vector<std::uint64_t> hop_end(messages.size(), 0);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    hop_cursor[i] = hop_channel.size();
+    const auto& journey = journeys[i];
+    for (std::size_t step = 0; step < journey.slots.size(); ++step) {
+      hop_channel.push_back(index.channel_of(journey.path[step], journey.slots[step]));
+    }
+    hop_end[i] = hop_channel.size();
+  }
+  const auto delivery_start = std::chrono::steady_clock::now();
+  if (config.timings) {
+    config.timings->routing_ms =
+        std::chrono::duration<double, std::milli>(delivery_start - phase_start).count();
+  }
+
+  // Injections, sorted by (time, id) — the order the timeline consumes them.
+  // Workloads arrive presorted (generate_workload's contract), making this a
+  // no-op scan; sorting anyway keeps hand-built message lists exact too.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> injections;
+  injections.reserve(messages.size());
   for (std::size_t i = 0; i < messages.size(); ++i) {
     if (!result.outcomes[i].routed) continue;
-    admissions[messages[i].inject_time].push_back(static_cast<std::uint32_t>(i));
-    ++in_flight;
+    injections.emplace_back(messages[i].inject_time, static_cast<std::uint32_t>(i));
   }
+  std::sort(injections.begin(), injections.end());
+  std::uint64_t in_flight = injections.size();
+
+  // Per-channel FIFO queues as intrusive singly-linked lists threaded through
+  // one per-message `next` slot: a message sits in at most one queue, so no
+  // allocation ever happens inside the simulation loop, and queue state is
+  // bounded by (channels + messages) by construction — drained-queue leak of
+  // the container-based engine is impossible.
+  std::vector<std::uint32_t> queue_head(index.num_channels(), kNoMessage);
+  std::vector<std::uint32_t> queue_tail(index.num_channels(), kNoMessage);
+  std::vector<std::uint32_t> next_in_queue(messages.size(), kNoMessage);
+  std::vector<std::uint32_t> active;  // channels with a non-empty queue
+
+  // Per-channel transmission counts, accumulated densely; `used` remembers
+  // first touches so aggregation never scans the whole channel space.
+  std::vector<std::uint64_t> channel_load(index.num_channels(), 0);
+  std::vector<std::uint32_t> used_channels;
+
+  // Two-bucket calendar: a hop costs exactly one step, so every transmission
+  // lands in the very next bucket, and the only other event source —
+  // injections — is consumed from the sorted array by cursor. `arrivals`
+  // holds the ids due at the current time t, `next_arrivals` those due t+1.
+  std::vector<std::uint32_t> arrivals;
+  std::vector<std::uint32_t> next_arrivals;
+  std::size_t injected = 0;
 
   std::uint64_t t = 0;
   std::uint64_t steps = 0;
-  while (in_flight > 0 && (!admissions.empty() || !busy.empty())) {
-    if (busy.empty()) t = admissions.begin()->first;  // skip idle gaps
+  while (in_flight > 0 &&
+         (injected < injections.size() || !arrivals.empty() || !active.empty())) {
+    if (active.empty() && arrivals.empty()) t = injections[injected].first;  // skip idle gap
     if (config.max_steps != 0 && steps >= config.max_steps) break;
     ++steps;
 
-    const auto due = admissions.find(t);
-    if (due != admissions.end()) {
-      std::sort(due->second.begin(), due->second.end());
-      for (const std::uint32_t id : due->second) {
-        Journey& journey = journeys[id];
-        if (journey.next_hop == journey.hops.size()) {
-          MessageOutcome& out = result.outcomes[id];
-          out.delivered = true;
-          out.finish_time = t;
-          out.queueing_delay = t - out.message.inject_time - out.path_edges;
-          --in_flight;
-          continue;
-        }
-        const ChannelKey& channel = journey.hops[journey.next_hop];
-        queues[channel].push_back(id);
-        busy.insert(channel);
-      }
-      admissions.erase(due);
+    // Admissions due now: mid-journey arrivals merged with fresh injections,
+    // processed in ascending id order (the deterministic FIFO tie-break).
+    while (injected < injections.size() && injections[injected].first == t) {
+      arrivals.push_back(injections[injected].second);
+      ++injected;
     }
+    std::sort(arrivals.begin(), arrivals.end());
+    result.admission_events += arrivals.size();
+    for (const std::uint32_t id : arrivals) {
+      if (hop_cursor[id] == hop_end[id]) {
+        MessageOutcome& out = result.outcomes[id];
+        out.delivered = true;
+        out.finish_time = t;
+        out.queueing_delay = t - out.message.inject_time - out.path_edges;
+        --in_flight;
+        continue;
+      }
+      const std::uint32_t channel = hop_channel[hop_cursor[id]];
+      next_in_queue[id] = kNoMessage;
+      if (queue_head[channel] == kNoMessage) {
+        queue_head[channel] = queue_tail[channel] = id;
+        active.push_back(channel);
+      } else {
+        next_in_queue[queue_tail[channel]] = id;
+        queue_tail[channel] = id;
+      }
+    }
+    arrivals.clear();
+    result.peak_active_channels = std::max<std::uint64_t>(result.peak_active_channels,
+                                                          active.size());
 
-    std::vector<ChannelKey> drained;
-    for (const ChannelKey& channel : busy) {
-      std::deque<std::uint32_t>& queue = queues[channel];
-      for (std::uint64_t slot = 0; slot < config.edge_capacity && !queue.empty(); ++slot) {
-        const std::uint32_t id = queue.front();
-        queue.pop_front();
-        ++journeys[id].next_hop;
-        ++edge_load[channel.first];
-        admissions[t + 1].push_back(id);
+    // Transmit up to `edge_capacity` per active channel; drained channels
+    // leave the active list by swap-removal (order across channels is
+    // irrelevant: arrivals are re-sorted by id next step).
+    for (std::size_t k = 0; k < active.size();) {
+      const std::uint32_t channel = active[k];
+      for (std::uint64_t slot = 0;
+           slot < config.edge_capacity && queue_head[channel] != kNoMessage; ++slot) {
+        const std::uint32_t id = queue_head[channel];
+        queue_head[channel] = next_in_queue[id];
+        ++hop_cursor[id];
+        if (channel_load[channel] == 0) used_channels.push_back(channel);
+        ++channel_load[channel];
+        next_arrivals.push_back(id);
       }
-      if (queue.empty()) drained.push_back(channel);
+      if (queue_head[channel] == kNoMessage) {
+        queue_tail[channel] = kNoMessage;
+        active[k] = active.back();
+        active.pop_back();
+      } else {
+        ++k;
+      }
     }
-    for (const ChannelKey& channel : drained) busy.erase(channel);
     ++t;
+    arrivals.swap(next_arrivals);
   }
   result.stranded = in_flight;
+  result.sim_steps = steps;
 
   // ------------------------------------------------------------- aggregation
-  const EdgeLoadStats congestion = summarize_edge_load(edge_load);
+  const EdgeLoadStats congestion = summarize_channel_load(index, channel_load, used_channels);
+  result.transmissions = congestion.total;
   result.max_edge_load = congestion.max_load;
   result.edges_used = congestion.edges_used;
   result.mean_edge_load = congestion.mean_load;
@@ -216,6 +199,7 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
     result.mean_queueing_delay = delay_sum / static_cast<double>(result.delivered);
     result.mean_path_edges = hops_sum / static_cast<double>(result.delivered);
   }
+  if (config.timings) config.timings->delivery_ms = ms_since(delivery_start);
   return result;
 }
 
@@ -239,6 +223,11 @@ Table traffic_table(const TrafficResult& result) {
   table.add_row({"max queueing delay", Table::fmt(result.max_queueing_delay)});
   table.add_row({"makespan", Table::fmt(result.makespan)});
   table.add_row({"throughput (msgs/step)", Table::fmt(result.throughput(), 3)});
+  table.add_row({"sim steps", Table::fmt(result.sim_steps)});
+  table.add_row({"admission events", Table::fmt(result.admission_events)});
+  table.add_row({"transmissions", Table::fmt(result.transmissions)});
+  table.add_row({"peak active channels", Table::fmt(result.peak_active_channels)});
+  table.add_row({"directed channels", Table::fmt(result.channels)});
   return table;
 }
 

@@ -14,6 +14,14 @@
 
 namespace faultroute {
 
+/// Optional wall-clock instrumentation of a traffic run (see
+/// TrafficConfig::timings). Purely observational: simulation results are
+/// byte-identical whether or not timings are collected.
+struct TrafficPhaseTimings {
+  double routing_ms = 0.0;   ///< phase 1: routing + validation + journey compilation
+  double delivery_ms = 0.0;  ///< phase 2: delivery simulation + aggregation
+};
+
 /// Configuration of a traffic run.
 struct TrafficConfig {
   /// Messages a directed edge channel can transmit per timestep (>= 1).
@@ -38,6 +46,10 @@ struct TrafficConfig {
   /// pathological configs; messages still in flight when it is hit are
   /// counted as `stranded`.
   std::uint64_t max_steps = 0;
+  /// When non-null, the engine records wall-clock phase durations here
+  /// (bench instrumentation; see bench/bench_delivery.cpp). The pointee must
+  /// outlive the run_traffic call. Never affects simulation results.
+  TrafficPhaseTimings* timings = nullptr;
 };
 
 /// Per-message outcome, indexed by message id.
@@ -95,6 +107,19 @@ struct TrafficResult {
                          : static_cast<double>(delivered) / static_cast<double>(makespan);
   }
 
+  // Delivery-engine introspection (see docs/ARCHITECTURE.md). These expose
+  // the event-driven simulator's work and footprint: its state is O(channels
+  // + messages) arrays, never a function of simulated time, so long-horizon
+  // runs cost steps but not memory.
+  std::uint64_t sim_steps = 0;          ///< timeline steps executed (idle gaps skipped)
+  std::uint64_t admission_events = 0;   ///< queue admissions, incl. one per hop taken
+  std::uint64_t transmissions = 0;      ///< channel transmit events (== summed edge load)
+  std::uint64_t peak_active_channels = 0;  ///< most channels simultaneously queued
+  /// Directed channels of the topology's ChannelIndex (2·edges for simple
+  /// graphs); the size of the engine's per-channel state. The reference
+  /// engine has no index and reports 0.
+  std::uint64_t channels = 0;
+
   std::vector<MessageOutcome> outcomes;  // indexed by message id
 };
 
@@ -110,12 +135,20 @@ struct TrafficResult {
 /// Phase 2 (delivery, sequential): the chosen paths are driven hop-by-hop
 /// through per-channel FIFO queues with `edge_capacity` transmissions per
 /// directed channel per timestep. Simultaneous queue admissions are ordered
-/// by message id, making the whole simulation deterministic.
+/// by message id, making the whole simulation deterministic. The phase is
+/// event-driven over the topology's dense ChannelIndex: journeys compile to
+/// flat channel-id arrays, arrivals flow through a two-bucket calendar (one
+/// hop costs exactly one step, so only the next step is ever scheduled, and
+/// injection gaps are skipped by cursor), and per-channel FIFOs are intrusive
+/// lists threaded through a single per-message `next` array — state is
+/// O(channels + messages), independent of simulated time.
 ///
 /// Preconditions (all guaranteed by generate_workload): message ids are the
 /// dense indices 0..messages.size()-1 in vector order, inject_times are
 /// nondecreasing, and every source/target is a distinct valid vertex of
-/// `graph`. config.edge_capacity >= 1.
+/// `graph`. config.edge_capacity >= 1. At most 2^32 - 1 messages (ids are
+/// 32-bit throughout the engine); more throws std::invalid_argument rather
+/// than silently aliasing ids.
 ///
 /// Thread-safety: `graph` and `sampler` are only read (both must be
 /// internally thread-safe under const access, which all library topologies
@@ -133,6 +166,22 @@ struct TrafficResult {
                                         const RouterFactory& make_router,
                                         const std::vector<TrafficMessage>& messages,
                                         const TrafficConfig& config);
+
+/// The pre-rewrite delivery engine, retained as a differential-testing
+/// oracle: identical contract and results to run_traffic — the golden
+/// equivalence suite (tests/test_traffic_golden.cpp) holds them bit-for-bit
+/// equal on every curated scenario sweep — but phase 2 runs on node-based
+/// ordered containers (std::map timeline, std::set busy list, per-channel
+/// deques), so it is several times slower and its queue table grows with
+/// every distinct channel ever used. Only `TrafficResult::channels` differs:
+/// the reference engine has no channel index and reports 0. Use run_traffic
+/// everywhere; use this to cross-check engine changes and in
+/// bench/bench_delivery.cpp to measure the gap.
+[[nodiscard]] TrafficResult run_traffic_reference(const Topology& graph,
+                                                  const EdgeSampler& sampler,
+                                                  const RouterFactory& make_router,
+                                                  const std::vector<TrafficMessage>& messages,
+                                                  const TrafficConfig& config);
 
 /// Renders the aggregate metrics as a two-column report table.
 [[nodiscard]] Table traffic_table(const TrafficResult& result);

@@ -1,6 +1,7 @@
 #include "traffic/workload.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -9,6 +10,17 @@
 namespace faultroute {
 
 namespace {
+
+/// Message ids are 32-bit throughout the traffic pipeline; generating more
+/// messages would silently alias ids (the old behaviour was a truncating
+/// cast). Checked before any allocation, so the guard itself is cheap.
+void check_message_count(std::uint64_t messages) {
+  if (messages > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "generate_workload: message ids are 32-bit; at most 4294967295 messages, got " +
+        std::to_string(messages));
+  }
+}
 
 /// Fisher-Yates shuffle of [0, n) driven by `rng`.
 std::vector<VertexId> random_permutation(Rng& rng, std::uint64_t n) {
@@ -23,6 +35,7 @@ std::vector<VertexId> random_permutation(Rng& rng, std::uint64_t n) {
 
 std::vector<TrafficMessage> permutation_messages(Rng& rng, std::uint64_t n,
                                                  std::uint64_t messages) {
+  check_message_count(messages);
   std::vector<TrafficMessage> out;
   out.reserve(messages);
   // Each round is one message per source under a fresh permutation; fixed
@@ -67,6 +80,7 @@ std::vector<TrafficMessage> generate_workload(const Topology& graph,
                                               const WorkloadConfig& config) {
   const std::uint64_t n = graph.num_vertices();
   if (n < 2) throw std::invalid_argument("generate_workload: need >= 2 vertices");
+  check_message_count(config.messages);
   if (config.messages == 0) return {};
   Rng rng(config.seed);
 

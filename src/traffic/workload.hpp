@@ -54,7 +54,8 @@ struct WorkloadConfig {
 
 /// Generates the message list for `config` on `graph`.
 ///
-/// Preconditions: graph.num_vertices() >= 2; for kHotspot,
+/// Preconditions: graph.num_vertices() >= 2; config.messages <= 2^32 - 1
+/// (message ids are 32-bit; more would alias); for kHotspot,
 /// config.hotspot_target < num_vertices; for kPoisson,
 /// config.arrival_rate > 0 — violations throw std::invalid_argument.
 ///

@@ -41,6 +41,24 @@ TEST(Summary, EmptyThrows) {
   EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
 }
 
+TEST(Summary, VarianceSurvivesLargeMeanSmallSpread) {
+  // Regression: the one-pass sum-of-squares formula cancels catastrophically
+  // here — (sum_sq - n*m^2) lost all 16 significant digits and reported
+  // variance 0. The two-pass computation is exact (every value, the mean,
+  // and the deviations are representable doubles).
+  Summary s;
+  s.add(1e8);
+  s.add(1e8 + 1);
+  s.add(1e8 + 2);
+  EXPECT_DOUBLE_EQ(s.mean(), 1e8 + 1);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+
+  Summary shifted;  // even larger mean, non-integer spread
+  for (const double x : {4e15, 4e15 + 2, 4e15 + 4}) shifted.add(x);
+  EXPECT_DOUBLE_EQ(shifted.variance(), 4.0);
+}
+
 TEST(Summary, SingletonHasZeroVariance) {
   Summary s;
   s.add(7.0);

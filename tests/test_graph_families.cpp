@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "graph/butterfly.hpp"
+#include "graph/channel_index.hpp"
 #include "graph/complete.hpp"
 #include "graph/cycle_matching.hpp"
 #include "graph/de_bruijn.hpp"
@@ -267,6 +268,58 @@ TEST_P(FamilyInvariantTest, DefaultDistanceIsSymmetric) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyInvariantTest,
                          ::testing::ValuesIn(small_family()));
+
+// ------------------------------------------------------------ ChannelIndex
+
+TEST(ChannelIndex, DenseContiguousAndInvertibleAcrossFamilies) {
+  for (const auto& entry : small_family()) {
+    const Topology& g = *entry;
+    const ChannelIndex& index = g.channel_index();
+    std::uint64_t degree_sum = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      degree_sum += static_cast<std::uint64_t>(g.degree(v));
+    }
+    EXPECT_EQ(index.num_channels(), degree_sum) << g.name();
+
+    std::uint32_t expected = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (int i = 0; i < g.degree(v); ++i) {
+        const std::uint32_t channel = index.channel_of(v, i);
+        EXPECT_EQ(channel, expected) << g.name();  // contiguous, slot order
+        ++expected;
+        EXPECT_EQ(index.tail(channel), v) << g.name();
+        EXPECT_EQ(index.slot(channel), i) << g.name();
+        EXPECT_EQ(index.head(channel), g.neighbor(v, i)) << g.name();
+        EXPECT_EQ(index.edge_of(channel), g.edge_key(v, i)) << g.name();
+      }
+    }
+  }
+}
+
+TEST(ChannelIndex, ReverseIsAnInvolutionOntoTheSameEdge) {
+  // Includes the k=2 wrapped butterfly, whose parallel edges make reverse()
+  // depend on the edge-key match (the naive lowest-slot lookup would pair
+  // the two parallel edges with each other).
+  for (const auto& entry : small_family()) {
+    const Topology& g = *entry;
+    const ChannelIndex& index = g.channel_index();
+    for (std::uint32_t c = 0; c < index.num_channels(); ++c) {
+      const std::uint32_t r = index.reverse(c);
+      EXPECT_EQ(index.reverse(r), c) << g.name() << " channel " << c;
+      EXPECT_EQ(index.edge_of(r), index.edge_of(c)) << g.name();
+      EXPECT_EQ(index.head(r), index.tail(c)) << g.name();
+      EXPECT_EQ(index.tail(r), index.head(c)) << g.name();
+    }
+  }
+}
+
+TEST(ChannelIndex, CachedInstanceIsSharedAndButterflyHasParallelChannels) {
+  const Butterfly g(2);  // the parallel-edge stress case
+  const ChannelIndex& a = g.channel_index();
+  const ChannelIndex& b = g.channel_index();
+  EXPECT_EQ(&a, &b);  // lazily built once, then cached
+  EXPECT_EQ(a.num_channels(), 2 * g.num_edges());
+}
 
 }  // namespace
 }  // namespace faultroute

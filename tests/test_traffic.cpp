@@ -104,6 +104,24 @@ TEST(Workload, PoissonArrivalsAreNondecreasingAndSpread) {
   EXPECT_LT(messages.back().inject_time, 2 * 300u / 2);
 }
 
+TEST(Workload, RejectsMessageCountsThatWouldAliasIds) {
+  // Message ids are 32-bit; the old behaviour silently truncated the index,
+  // aliasing every message past 2^32. The guard runs before any allocation,
+  // so requesting the absurd count is cheap. Both generator families (the
+  // permutation round loop and the independent-draw loop) are covered.
+  const Hypercube g(6);
+  for (const auto& name : workload_names()) {
+    WorkloadConfig config;
+    config.kind = parse_workload(name);
+    config.messages = (std::uint64_t{1} << 32);  // UINT32_MAX + 1
+    config.arrival_rate = 1.0;
+    EXPECT_THROW((void)generate_workload(g, config), std::invalid_argument) << name;
+  }
+  WorkloadConfig max_ok;
+  max_ok.messages = 0;  // the boundary itself is fine (0 and small counts run)
+  EXPECT_TRUE(generate_workload(g, max_ok).empty());
+}
+
 TEST(Workload, DeterministicInSeed) {
   const Hypercube g(6);
   WorkloadConfig config;
@@ -354,6 +372,101 @@ TEST(TrafficEngine, InvalidPathsAreExcludedFromRoutedAndDelivery) {
   EXPECT_EQ(r.routed + r.failed_routing + r.censored + r.invalid_paths, r.messages);
   // ...and rejected messages never enter the delivery simulation.
   EXPECT_EQ(r.delivered + r.stranded, r.routed);
+}
+
+TEST(TrafficEngine, TwoEdgeContentionHandComputed) {
+  // Path graph 0-1-2, two messages 0 -> 2 injected at t=0, capacity 1.
+  //   t=0: both queue on channel 0->1; id 0 transmits (edge {0,1}).
+  //   t=1: id 0 queues on 1->2 and transmits; id 1 transmits on 0->1.
+  //   t=2: id 0 arrives at 2 (delivered, finish 2); id 1 transmits on 1->2.
+  //   t=3: id 1 delivered.
+  const Mesh g(1, 3, /*wrap=*/false);
+  const HashEdgeSampler env(1.0, 1);
+  const std::vector<TrafficMessage> two{{0, 0, 2, 0}, {1, 0, 2, 0}};
+  const TrafficResult r = run_traffic(g, env, best_first_factory(), two, {});
+  ASSERT_EQ(r.delivered, 2u);
+  EXPECT_EQ(r.outcomes[0].finish_time, 2u);
+  EXPECT_EQ(r.outcomes[1].finish_time, 3u);
+  EXPECT_EQ(r.makespan, 3u);
+  EXPECT_EQ(r.outcomes[0].queueing_delay, 0u);  // never waited
+  EXPECT_EQ(r.outcomes[1].queueing_delay, 1u);  // one step behind id 0 on each edge
+  EXPECT_EQ(r.max_queueing_delay, 1u);
+  // Both messages crossed both edges; directions pool per undirected edge.
+  EXPECT_EQ(r.edges_used, 2u);
+  EXPECT_EQ(r.max_edge_load, 2u);
+  EXPECT_DOUBLE_EQ(r.mean_edge_load, 2.0);
+  EXPECT_EQ(r.transmissions, 4u);
+  EXPECT_EQ(r.sim_steps, 4u);             // t = 0, 1, 2, 3
+  EXPECT_EQ(r.admission_events, 6u);      // 2 injections + 4 hop arrivals
+  EXPECT_EQ(r.peak_active_channels, 2u);  // 0->1 and 1->2 busy at t=1
+  EXPECT_EQ(r.channels, 4u);              // 2 undirected edges, both directions
+}
+
+TEST(TrafficEngine, DeliveryInvariantsOnAPoissonBatch) {
+  const TrafficResult r = [] {
+    const Hypercube g(7);
+    const HashEdgeSampler env(0.55, 21);
+    WorkloadConfig workload;
+    workload.kind = WorkloadKind::kPoisson;
+    workload.messages = 500;
+    workload.arrival_rate = 4.0;
+    workload.seed = 3;
+    return run_traffic(g, env, best_first_factory(), generate_workload(g, workload), {});
+  }();
+  // Conservation partition: every message accounted for exactly once, and
+  // with no step cap everything routed eventually drains.
+  EXPECT_EQ(r.routed + r.failed_routing + r.censored + r.invalid_paths, r.messages);
+  EXPECT_EQ(r.delivered + r.stranded, r.routed);
+  EXPECT_EQ(r.stranded, 0u);
+  ASSERT_GT(r.delivered, 0u);
+  // queueing_delay can never underflow: finish >= inject + hops for every
+  // delivered message, and the delay is exactly the difference (an underflow
+  // would wrap to ~2^64 and blow the reconstruction below).
+  std::uint64_t delivered_hops = 0;
+  for (const MessageOutcome& out : r.outcomes) {
+    if (!out.delivered) continue;
+    ASSERT_GE(out.finish_time, out.message.inject_time + out.path_edges);
+    EXPECT_EQ(out.queueing_delay,
+              out.finish_time - out.message.inject_time - out.path_edges);
+    EXPECT_LE(out.queueing_delay, out.finish_time);
+    delivered_hops += out.path_edges;
+  }
+  // Event-counter identities: every delivered hop is one transmission, every
+  // admission either re-queues a hop or delivers a message.
+  EXPECT_EQ(r.transmissions, delivered_hops);
+  EXPECT_EQ(r.admission_events, r.transmissions + r.delivered);
+}
+
+TEST(TrafficEngine, MemoryStateIsBoundedByChannelsPlusMessagesNotTime) {
+  // Same message count, ~100x different simulated horizon: the engine's
+  // per-run state (channel index, per-channel FIFO heads, per-message slots)
+  // must not grow with simulated time. The counters expose exactly those
+  // sizes; under the old container engine the queue table grew with every
+  // distinct channel ever touched and the timeline with every distinct
+  // admission time.
+  const Hypercube g(7);
+  const HashEdgeSampler env(0.7, 9);
+  const auto run_at_rate = [&](double rate) {
+    WorkloadConfig workload;
+    workload.kind = WorkloadKind::kPoisson;
+    workload.messages = 300;
+    workload.arrival_rate = rate;
+    workload.seed = 12;
+    return run_traffic(g, env, best_first_factory(), generate_workload(g, workload), {});
+  };
+  const TrafficResult dense = run_at_rate(8.0);
+  const TrafficResult sparse = run_at_rate(0.05);  // long horizon, idle gaps
+  ASSERT_GT(sparse.makespan, 10 * dense.makespan);
+  // Identical state footprint regardless of horizon...
+  EXPECT_EQ(dense.channels, sparse.channels);
+  EXPECT_EQ(dense.channels, 2 * g.num_edges());
+  EXPECT_LE(dense.peak_active_channels, dense.channels);
+  EXPECT_LE(sparse.peak_active_channels, sparse.channels);
+  // ...and the event loop never executes more steps than it has events for
+  // (idle gaps are skipped, so steps are bounded by admissions, not by the
+  // simulated clock).
+  EXPECT_LE(sparse.sim_steps, sparse.admission_events);
+  EXPECT_GT(sparse.makespan, sparse.sim_steps);  // horizon >> work on sparse runs
 }
 
 TEST(TrafficEngine, RejectsZeroCapacity) {

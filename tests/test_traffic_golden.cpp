@@ -1,0 +1,190 @@
+// Golden equivalence suite: the event-driven delivery engine (run_traffic)
+// must reproduce the legacy container-based engine (run_traffic_reference)
+// bit for bit — every aggregate metric and every per-message outcome — on
+// every curated scenario sweep in scenarios/*.scn, plus targeted edge cases
+// (step caps, idle Poisson gaps, extra capacity). Cells and seeds replicate
+// the scenario runner's contract exactly (row-major index, trial fastest,
+// derive_seed(seed, 2i) / (seed, 2i+1)), at --quick scale so the whole
+// matrix stays test-suite fast.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/routers/greedy_router.hpp"
+#include "graph/hypercube.hpp"
+#include "graph/mesh.hpp"
+#include "percolation/edge_sampler.hpp"
+#include "random/rng.hpp"
+#include "scenario/spec.hpp"
+#include "sim/registry.hpp"
+#include "traffic/traffic_engine.hpp"
+#include "traffic/workload.hpp"
+
+#ifndef FAULTROUTE_SOURCE_DIR
+#error "test_traffic_golden requires FAULTROUTE_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+namespace faultroute {
+namespace {
+
+void expect_identical(const TrafficResult& a, const TrafficResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.routed, b.routed) << label;
+  EXPECT_EQ(a.failed_routing, b.failed_routing) << label;
+  EXPECT_EQ(a.censored, b.censored) << label;
+  EXPECT_EQ(a.invalid_paths, b.invalid_paths) << label;
+  EXPECT_EQ(a.delivered, b.delivered) << label;
+  EXPECT_EQ(a.stranded, b.stranded) << label;
+  EXPECT_EQ(a.total_distinct_probes, b.total_distinct_probes) << label;
+  EXPECT_EQ(a.unique_edges_probed, b.unique_edges_probed) << label;
+  EXPECT_EQ(a.max_edge_load, b.max_edge_load) << label;
+  EXPECT_EQ(a.mean_edge_load, b.mean_edge_load) << label;  // exact: same doubles
+  EXPECT_EQ(a.edges_used, b.edges_used) << label;
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.mean_queueing_delay, b.mean_queueing_delay) << label;
+  EXPECT_EQ(a.max_queueing_delay, b.max_queueing_delay) << label;
+  EXPECT_EQ(a.mean_path_edges, b.mean_path_edges) << label;
+  // Engine event counters agree too: both simulations execute the same
+  // timeline (channels differs by design: the reference engine has no index).
+  EXPECT_EQ(a.sim_steps, b.sim_steps) << label;
+  EXPECT_EQ(a.admission_events, b.admission_events) << label;
+  EXPECT_EQ(a.transmissions, b.transmissions) << label;
+  EXPECT_EQ(a.peak_active_channels, b.peak_active_channels) << label;
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << label;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const MessageOutcome& x = a.outcomes[i];
+    const MessageOutcome& y = b.outcomes[i];
+    ASSERT_EQ(x.routed, y.routed) << label << " msg " << i;
+    ASSERT_EQ(x.censored, y.censored) << label << " msg " << i;
+    ASSERT_EQ(x.delivered, y.delivered) << label << " msg " << i;
+    ASSERT_EQ(x.distinct_probes, y.distinct_probes) << label << " msg " << i;
+    ASSERT_EQ(x.path_edges, y.path_edges) << label << " msg " << i;
+    ASSERT_EQ(x.finish_time, y.finish_time) << label << " msg " << i;
+    ASSERT_EQ(x.queueing_delay, y.queueing_delay) << label << " msg " << i;
+  }
+}
+
+/// Runs every cell of `spec` (at --quick scale) through both engines and
+/// holds them identical. Mirrors scenario::run_scenario's cell order and
+/// seeding so this covers exactly the sweeps the runner would execute.
+void golden_check_scenario_file(const std::string& stem) {
+  const std::string path = std::string(FAULTROUTE_SOURCE_DIR) + "/scenarios/" + stem;
+  scenario::ScenarioSpec spec = scenario::load_scenario_file(path);
+  spec.messages = std::min<std::uint64_t>(spec.messages, 64);
+  spec.trials = std::min<std::uint64_t>(spec.trials, 2);
+  scenario::validate_scenario(spec);
+
+  std::vector<std::unique_ptr<Topology>> topologies;
+  for (const auto& topo_spec : spec.topologies) {
+    topologies.push_back(sim::make_topology(topo_spec));
+  }
+
+  std::uint64_t index = 0;
+  for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
+    for (const double p : spec.p_values) {
+      for (const auto& router : spec.routers) {
+        for (const auto& workload_spec : spec.workloads) {
+          for (std::uint64_t trial = 0; trial < spec.trials; ++trial, ++index) {
+            const Topology& topology = *topologies[ti];
+            WorkloadConfig workload = sim::make_workload(workload_spec);
+            workload.messages = spec.messages;
+            workload.seed = derive_seed(spec.seed, 2 * index + 1);
+            const auto messages = generate_workload(topology, workload);
+
+            TrafficConfig config;
+            config.edge_capacity = spec.edge_capacity;
+            if (spec.probe_budget > 0) config.probe_budget = spec.probe_budget;
+            config.max_steps = spec.max_steps;
+            config.threads = 1;
+            const HashEdgeSampler environment(p, derive_seed(spec.seed, 2 * index));
+            const auto factory = [&]() { return sim::make_router(router, topology); };
+
+            const TrafficResult event =
+                run_traffic(topology, environment, factory, messages, config);
+            const TrafficResult reference =
+                run_traffic_reference(topology, environment, factory, messages, config);
+            expect_identical(event, reference,
+                             stem + " cell " + std::to_string(index) + " (" +
+                                 spec.topologies[ti] + ", p=" + std::to_string(p) + ", " +
+                                 router + ", " + workload_spec + ")");
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(index, 0u) << stem;
+}
+
+TEST(TrafficGolden, BisectionTopologies) {
+  golden_check_scenario_file("bisection_topologies.scn");
+}
+TEST(TrafficGolden, DebruijnRouterShootout) {
+  golden_check_scenario_file("debruijn_router_shootout.scn");
+}
+TEST(TrafficGolden, GnpOracleGap) { golden_check_scenario_file("gnp_oracle_gap.scn"); }
+TEST(TrafficGolden, HotspotMeltdown) { golden_check_scenario_file("hotspot_meltdown.scn"); }
+TEST(TrafficGolden, HypercubePhase) { golden_check_scenario_file("hypercube_phase.scn"); }
+TEST(TrafficGolden, MeshPoissonLoad) { golden_check_scenario_file("mesh_poisson_load.scn"); }
+
+// ----------------------------------------------- targeted engine edge cases
+
+RouterFactory greedy_factory() {
+  return [] { return std::make_unique<BestFirstRouter>(); };
+}
+
+TEST(TrafficGolden, StepCapStrandsIdenticallyAcrossEngines) {
+  // A hotspot on a line with a tiny step cap: the break-out path and the
+  // stranded accounting must match, including which messages finished.
+  const Mesh g(1, 16, /*wrap=*/false);
+  const HashEdgeSampler env(1.0, 1);
+  WorkloadConfig workload;
+  workload.kind = WorkloadKind::kHotspot;
+  workload.messages = 48;
+  const auto messages = generate_workload(g, workload);
+  for (const std::uint64_t cap : {1ull, 5ull, 23ull}) {
+    TrafficConfig config;
+    config.max_steps = cap;
+    expect_identical(run_traffic(g, env, greedy_factory(), messages, config),
+                     run_traffic_reference(g, env, greedy_factory(), messages, config),
+                     "max_steps=" + std::to_string(cap));
+  }
+}
+
+TEST(TrafficGolden, SparsePoissonIdleGapsSkipIdentically) {
+  // Rate 0.02 spreads ~200 arrivals over ~10000 timesteps: the calendar's
+  // idle-gap skip must land on exactly the timesteps the map timeline visits.
+  const Hypercube g(6);
+  const HashEdgeSampler env(0.8, 17);
+  WorkloadConfig workload;
+  workload.kind = WorkloadKind::kPoisson;
+  workload.messages = 200;
+  workload.arrival_rate = 0.02;
+  const auto messages = generate_workload(g, workload);
+  expect_identical(run_traffic(g, env, greedy_factory(), messages, {}),
+                   run_traffic_reference(g, env, greedy_factory(), messages, {}),
+                   "sparse poisson");
+}
+
+TEST(TrafficGolden, ExtraCapacityMatchesAcrossEngines) {
+  const Mesh g(1, 16, /*wrap=*/false);
+  const HashEdgeSampler env(1.0, 1);
+  WorkloadConfig workload;
+  workload.kind = WorkloadKind::kHotspot;
+  workload.messages = 64;
+  const auto messages = generate_workload(g, workload);
+  for (const std::uint64_t capacity : {2ull, 4ull, 64ull}) {
+    TrafficConfig config;
+    config.edge_capacity = capacity;
+    expect_identical(run_traffic(g, env, greedy_factory(), messages, config),
+                     run_traffic_reference(g, env, greedy_factory(), messages, config),
+                     "capacity=" + std::to_string(capacity));
+  }
+}
+
+}  // namespace
+}  // namespace faultroute

@@ -270,13 +270,25 @@ int cmd_traffic(const Args& args) {
   }
   config.use_shared_cache = cache_flag == "true";
 
+  // --engine reference runs the legacy container-based delivery engine (the
+  // differential-testing oracle); results are identical, only speed and the
+  // engine counters differ.
+  const std::string engine = args.get("engine", "event");
+  if (engine != "event" && engine != "reference") {
+    throw std::invalid_argument("--engine must be 'event' or 'reference', got '" + engine +
+                                "'");
+  }
+
   const HashEdgeSampler env(p, seed);
   const auto messages = generate_workload(*graph, workload);
   const auto factory = [&]() { return sim::make_router(router_name, *graph); };
-  const TrafficResult result = run_traffic(*graph, env, factory, messages, config);
+  const TrafficResult result =
+      engine == "event" ? run_traffic(*graph, env, factory, messages, config)
+                        : run_traffic_reference(*graph, env, factory, messages, config);
 
   traffic_table(result).print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" +
-                              router_name + "  workload=" + workload_name(workload.kind));
+                              router_name + "  workload=" + workload_name(workload.kind) +
+                              "  engine=" + engine);
   return 0;
 }
 
@@ -343,6 +355,7 @@ void print_usage() {
             << "traffic flags:     --workload W --messages N --workload-seed S\n"
             << "                   --capacity C --threads T --budget B --target V\n"
             << "                   --rate R --shared-cache true|false\n"
+            << "                   --engine event|reference (delivery engine A/B)\n"
             << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
             << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
             << "\nfull reference: docs/CLI.md; scenario grammar: docs/SCENARIOS.md\n";
