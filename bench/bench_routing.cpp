@@ -1,0 +1,297 @@
+// bench_routing — A/B benchmark of the routing phase: dense probe state
+// (epoch-stamped ProbeArena memo + lock-free tri-state SharedProbeCache)
+// against the hash-container backend it replaced (per-message
+// unordered_map/unordered_set over the retained mutex-sharded
+// ShardedProbeCache), flipped via TrafficConfig::dense_probe_state.
+//
+// The workload is the repository's own curated scenario sweeps
+// (scenarios/*.scn) — the exact cell grid and seeding the scenario runner
+// executes (row-major index, trial fastest, derive_seed(seed, 2i)/(2i+1)) —
+// so the numbers describe the hot path users actually run, across local and
+// oracle routers, every topology family, budgets, and all workload kinds.
+// Each cell is timed through TrafficConfig::timings (the engine's own
+// phase-1 stopwatch: routing + validation + journey compilation; no noisy
+// end-to-end subtraction) and per-scenario times are the sum over cells,
+// best of --reps repetitions. Outcomes and counters of the two backends
+// are cross-checked on every cell and the process fails on any mismatch,
+// so the bench doubles as an equivalence test at scales the unit suite
+// cannot afford.
+//
+//   bench_routing [--quick] [--json] [--out PATH] [--reps N] [--scenarios DIR]
+//
+// --json emits one machine-readable object (schema
+// faultroute.bench.routing.v1, validated in CI by
+// scripts/check_bench_schema.py); the committed full-run perf record lives
+// in BENCH_routing.json at the repo root, next to BENCH_traffic.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "random/rng.hpp"
+#include "scenario/spec.hpp"
+#include "sim/registry.hpp"
+#include "traffic/traffic_engine.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace faultroute;
+
+#ifndef FAULTROUTE_SOURCE_DIR
+#define FAULTROUTE_SOURCE_DIR "."
+#endif
+
+/// The curated sweeps, in the golden suite's order.
+const std::vector<std::string> kScenarioStems = {
+    "bisection_topologies", "debruijn_router_shootout", "gnp_oracle_gap",
+    "hotspot_meltdown",     "hypercube_phase",          "mesh_poisson_load",
+};
+
+struct BenchOptions {
+  bool quick = false;
+  bool json = false;
+  std::string out_path;
+  std::string scenarios_dir = std::string(FAULTROUTE_SOURCE_DIR) + "/scenarios";
+  int reps = 0;  // 0 = default (2 full, 1 quick)
+};
+
+BenchOptions parse_args(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size() + 1 && arg.rfind(flag + "=", 0) == 0) {
+        return arg.substr(flag.size() + 1);
+      }
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      throw std::invalid_argument("bench_routing: " + flag + " needs a value");
+    };
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--out" || arg.rfind("--out=", 0) == 0) {
+      options.out_path = value_of("--out");
+    } else if (arg == "--scenarios" || arg.rfind("--scenarios=", 0) == 0) {
+      options.scenarios_dir = value_of("--scenarios");
+    } else if (arg == "--reps" || arg.rfind("--reps=", 0) == 0) {
+      options.reps = std::stoi(value_of("--reps"));
+    } else {
+      throw std::invalid_argument("bench_routing: unknown flag '" + arg +
+                                  "' (known: --quick --json --out --reps --scenarios)");
+    }
+  }
+  return options;
+}
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t cells = 0;
+  std::uint64_t messages = 0;  // per cell
+  std::uint64_t trials = 0;
+  std::uint64_t routed = 0;     // summed over cells
+  std::uint64_t delivered = 0;  // summed over cells
+  std::uint64_t total_distinct_probes = 0;
+  std::uint64_t unique_edges_probed = 0;
+  double dense_routing_ms = 0.0;
+  double hash_routing_ms = 0.0;
+  bool identical = true;
+  [[nodiscard]] double speedup() const {
+    return dense_routing_ms > 0.0 ? hash_routing_ms / dense_routing_ms : 0.0;
+  }
+};
+
+/// The backends must agree on everything observable.
+bool results_identical(const TrafficResult& a, const TrafficResult& b) {
+  if (a.routed != b.routed || a.failed_routing != b.failed_routing ||
+      a.censored != b.censored || a.invalid_paths != b.invalid_paths ||
+      a.delivered != b.delivered || a.stranded != b.stranded ||
+      a.total_distinct_probes != b.total_distinct_probes ||
+      a.unique_edges_probed != b.unique_edges_probed || a.makespan != b.makespan ||
+      a.max_edge_load != b.max_edge_load || a.edges_used != b.edges_used ||
+      a.mean_edge_load != b.mean_edge_load ||
+      a.mean_queueing_delay != b.mean_queueing_delay ||
+      a.max_queueing_delay != b.max_queueing_delay ||
+      a.mean_path_edges != b.mean_path_edges || a.sim_steps != b.sim_steps ||
+      a.admission_events != b.admission_events || a.transmissions != b.transmissions ||
+      a.peak_active_channels != b.peak_active_channels ||
+      a.outcomes.size() != b.outcomes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    if (a.outcomes[i].routed != b.outcomes[i].routed ||
+        a.outcomes[i].censored != b.outcomes[i].censored ||
+        a.outcomes[i].delivered != b.outcomes[i].delivered ||
+        a.outcomes[i].distinct_probes != b.outcomes[i].distinct_probes ||
+        a.outcomes[i].path_edges != b.outcomes[i].path_edges ||
+        a.outcomes[i].finish_time != b.outcomes[i].finish_time ||
+        a.outcomes[i].queueing_delay != b.outcomes[i].queueing_delay) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BenchResult run_scenario_bench(const std::string& stem, const BenchOptions& options) {
+  scenario::ScenarioSpec spec =
+      scenario::load_scenario_file(options.scenarios_dir + "/" + stem + ".scn");
+  // Clamp to bench scale: --quick is CI-smoke size, the full run keeps the
+  // spec's message volume but trims trials (the per-cell timing is summed
+  // anyway, extra trials only repeat the same distribution).
+  if (options.quick) {
+    spec.messages = std::min<std::uint64_t>(spec.messages, 64);
+    spec.trials = std::min<std::uint64_t>(spec.trials, 1);
+  } else {
+    spec.messages = std::min<std::uint64_t>(spec.messages, 512);
+    spec.trials = std::min<std::uint64_t>(spec.trials, 2);
+  }
+  scenario::validate_scenario(spec);
+
+  std::vector<std::unique_ptr<Topology>> topologies;
+  for (const auto& topo_spec : spec.topologies) {
+    topologies.push_back(sim::make_topology(topo_spec));
+  }
+
+  BenchResult result;
+  result.name = spec.name;
+  result.messages = spec.messages;
+  result.trials = spec.trials;
+
+  const int reps = options.reps > 0 ? options.reps : (options.quick ? 1 : 2);
+  for (int rep = 0; rep < reps; ++rep) {
+    double dense_ms = 0.0;
+    double hash_ms = 0.0;
+    std::uint64_t index = 0;
+    // The scenario runner's exact cell grid and seeding contract.
+    for (std::size_t ti = 0; ti < topologies.size(); ++ti) {
+      for (const double p : spec.p_values) {
+        for (const auto& router : spec.routers) {
+          for (const auto& workload_spec : spec.workloads) {
+            for (std::uint64_t trial = 0; trial < spec.trials; ++trial, ++index) {
+              const Topology& topology = *topologies[ti];
+              WorkloadConfig workload = sim::make_workload(workload_spec);
+              workload.messages = spec.messages;
+              workload.seed = derive_seed(spec.seed, 2 * index + 1);
+              const auto messages = generate_workload(topology, workload);
+
+              TrafficConfig config;
+              config.edge_capacity = spec.edge_capacity;
+              if (spec.probe_budget > 0) config.probe_budget = spec.probe_budget;
+              config.max_steps = spec.max_steps;
+              config.threads = 1;
+              const HashEdgeSampler environment(p, derive_seed(spec.seed, 2 * index));
+              const auto factory = [&]() { return sim::make_router(router, topology); };
+
+              TrafficPhaseTimings dense_timings;
+              TrafficConfig dense = config;
+              dense.dense_probe_state = true;
+              dense.timings = &dense_timings;
+              const TrafficResult dense_run =
+                  run_traffic(topology, environment, factory, messages, dense);
+              dense_ms += dense_timings.routing_ms;
+
+              TrafficPhaseTimings hash_timings;
+              TrafficConfig hash = config;
+              hash.dense_probe_state = false;
+              hash.timings = &hash_timings;
+              const TrafficResult hash_run =
+                  run_traffic(topology, environment, factory, messages, hash);
+              hash_ms += hash_timings.routing_ms;
+
+              if (rep == 0) {
+                result.identical =
+                    result.identical && results_identical(dense_run, hash_run);
+                result.routed += dense_run.routed;
+                result.delivered += dense_run.delivered;
+                result.total_distinct_probes += dense_run.total_distinct_probes;
+                result.unique_edges_probed += dense_run.unique_edges_probed;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (rep == 0 || dense_ms < result.dense_routing_ms) result.dense_routing_ms = dense_ms;
+    if (rep == 0 || hash_ms < result.hash_routing_ms) result.hash_routing_ms = hash_ms;
+    result.cells = index;
+  }
+  return result;
+}
+
+std::string json_report(const std::vector<BenchResult>& results, const BenchOptions& options) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\"schema\":\"faultroute.bench.routing.v1\",\"schema_version\":1"
+      << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"benchmarks\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << r.name << "\",\"cells\":" << r.cells
+        << ",\"messages\":" << r.messages << ",\"trials\":" << r.trials
+        << ",\"routed\":" << r.routed << ",\"delivered\":" << r.delivered
+        << ",\"total_distinct_probes\":" << r.total_distinct_probes
+        << ",\"unique_edges_probed\":" << r.unique_edges_probed
+        << ",\"dense_routing_ms\":" << r.dense_routing_ms
+        << ",\"hash_routing_ms\":" << r.hash_routing_ms << ",\"speedup\":" << r.speedup()
+        << ",\"identical\":" << (r.identical ? "true" : "false") << '}';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+int run(const BenchOptions& options) {
+  std::vector<BenchResult> results;
+  results.reserve(kScenarioStems.size());
+  bool all_identical = true;
+  for (const std::string& stem : kScenarioStems) {
+    results.push_back(run_scenario_bench(stem, options));
+    all_identical = all_identical && results.back().identical;
+  }
+
+  if (options.json) {
+    const std::string report = json_report(results, options);
+    if (options.out_path.empty()) {
+      std::cout << report;
+    } else {
+      std::ofstream out(options.out_path);
+      if (!out) throw std::runtime_error("cannot write --out file '" + options.out_path + "'");
+      out << report;
+    }
+  } else {
+    Table table({"scenario", "cells", "messages", "probes", "hash_routing_ms",
+                 "dense_routing_ms", "speedup", "identical"});
+    for (const BenchResult& r : results) {
+      table.add_row({r.name, Table::fmt(r.cells), Table::fmt(r.messages),
+                     Table::fmt(r.total_distinct_probes), Table::fmt(r.hash_routing_ms, 1),
+                     Table::fmt(r.dense_routing_ms, 1), Table::fmt(r.speedup(), 2),
+                     r.identical ? "yes" : "NO"});
+    }
+    table.print("routing phase A/B: hash containers vs dense epoch-stamped probe state");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "bench_routing: BACKENDS DISAGREE — see 'identical' column\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_routing: %s\n", e.what());
+    return 1;
+  }
+}

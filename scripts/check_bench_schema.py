@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
-"""Validates a bench_delivery --json report against the expected schema.
+"""Validates a bench --json report against its expected schema.
 
 Usage: check_bench_schema.py REPORT.json
 
-Run by CI after `bench_delivery --quick --json --out REPORT.json` so the
-machine-readable perf trajectory (BENCH_traffic.json and the per-PR CI
-artifacts) stays parseable and complete. Exits non-zero with a message on
-the first violation.
+Understands every schema the bench suite emits — the report's "schema"
+field selects the rule set:
+
+  * faultroute.bench.delivery.v1  (bench_delivery: event vs reference engine)
+  * faultroute.bench.routing.v1   (bench_routing: dense vs hash probe state)
+
+Run by CI after `bench_delivery --quick --json` / `bench_routing --quick
+--json` so the machine-readable perf trajectories (BENCH_traffic.json,
+BENCH_routing.json and the per-PR CI artifacts) stay parseable and
+complete. Exits non-zero with a message on the first violation.
 """
 
 import json
 import sys
 
-SCHEMA_NAME = "faultroute.bench.delivery.v1"
+DELIVERY_SCHEMA = "faultroute.bench.delivery.v1"
+ROUTING_SCHEMA = "faultroute.bench.routing.v1"
 SCHEMA_VERSION = 1
 
-TOP_LEVEL = {
+DELIVERY_TOP_LEVEL = {
     "schema": str,
     "schema_version": int,
     "quick": bool,
@@ -23,7 +30,7 @@ TOP_LEVEL = {
     "benchmarks": list,
 }
 
-BENCHMARK_FIELDS = {
+DELIVERY_BENCHMARK_FIELDS = {
     "name": str,
     "topology": str,
     "workload": str,
@@ -46,6 +53,28 @@ BENCHMARK_FIELDS = {
     "identical": bool,
 }
 
+ROUTING_TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "quick": bool,
+    "benchmarks": list,
+}
+
+ROUTING_BENCHMARK_FIELDS = {
+    "name": str,
+    "cells": int,
+    "messages": int,
+    "trials": int,
+    "routed": int,
+    "delivered": int,
+    "total_distinct_probes": int,
+    "unique_edges_probed": int,
+    "dense_routing_ms": (int, float),
+    "hash_routing_ms": (int, float),
+    "speedup": (int, float),
+    "identical": bool,
+}
+
 
 def fail(message: str) -> None:
     print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
@@ -64,6 +93,54 @@ def check_fields(obj: dict, fields: dict, where: str) -> None:
             fail(f"{where}: field '{key}' has type {type(value).__name__}")
 
 
+def check_common_top_level(report: dict, top_level: dict) -> None:
+    check_fields(report, top_level, "top level")
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail(f"schema_version is {report['schema_version']}, expected {SCHEMA_VERSION}")
+    if not report["benchmarks"]:
+        fail("benchmarks list is empty")
+    for i, bench in enumerate(report["benchmarks"]):
+        if not isinstance(bench, dict):
+            fail(f"benchmarks[{i}]: not an object")
+
+
+def check_delivery(report: dict) -> None:
+    check_common_top_level(report, DELIVERY_TOP_LEVEL)
+    for i, bench in enumerate(report["benchmarks"]):
+        where = f"benchmarks[{i}]"
+        check_fields(bench, DELIVERY_BENCHMARK_FIELDS, where)
+        if not bench["identical"]:
+            fail(f"{where} ('{bench['name']}'): engines disagree (identical=false)")
+        if bench["delivered"] > bench["routed"]:
+            fail(f"{where}: delivered > routed")
+        if bench["event_delivery_ms"] < 0 or bench["reference_delivery_ms"] < 0:
+            fail(f"{where}: negative delivery time")
+
+
+def check_routing(report: dict) -> None:
+    check_common_top_level(report, ROUTING_TOP_LEVEL)
+    for i, bench in enumerate(report["benchmarks"]):
+        where = f"benchmarks[{i}]"
+        check_fields(bench, ROUTING_BENCHMARK_FIELDS, where)
+        if not bench["identical"]:
+            fail(f"{where} ('{bench['name']}'): probe-state backends disagree "
+                 "(identical=false)")
+        if bench["delivered"] > bench["routed"]:
+            fail(f"{where}: delivered > routed")
+        if bench["unique_edges_probed"] > bench["total_distinct_probes"]:
+            fail(f"{where}: unique edges exceed summed distinct probes")
+        if bench["dense_routing_ms"] < 0 or bench["hash_routing_ms"] < 0:
+            fail(f"{where}: negative routing time")
+        if bench["cells"] <= 0:
+            fail(f"{where}: no cells executed")
+
+
+CHECKERS = {
+    DELIVERY_SCHEMA: check_delivery,
+    ROUTING_SCHEMA: check_routing,
+}
+
+
 def main() -> None:
     if len(sys.argv) != 2:
         fail("usage: check_bench_schema.py REPORT.json")
@@ -73,30 +150,17 @@ def main() -> None:
     except (OSError, json.JSONDecodeError) as error:
         fail(f"cannot parse {sys.argv[1]}: {error}")
 
-    check_fields(report, TOP_LEVEL, "top level")
-    if report["schema"] != SCHEMA_NAME:
-        fail(f"schema is '{report['schema']}', expected '{SCHEMA_NAME}'")
-    if report["schema_version"] != SCHEMA_VERSION:
-        fail(f"schema_version is {report['schema_version']}, expected {SCHEMA_VERSION}")
-    if not report["benchmarks"]:
-        fail("benchmarks list is empty")
-
-    for i, bench in enumerate(report["benchmarks"]):
-        where = f"benchmarks[{i}]"
-        if not isinstance(bench, dict):
-            fail(f"{where}: not an object")
-        check_fields(bench, BENCHMARK_FIELDS, where)
-        if not bench["identical"]:
-            fail(f"{where} ('{bench['name']}'): engines disagree (identical=false)")
-        if bench["delivered"] > bench["routed"]:
-            fail(f"{where}: delivered > routed")
-        if bench["event_delivery_ms"] < 0 or bench["reference_delivery_ms"] < 0:
-            fail(f"{where}: negative delivery time")
+    if not isinstance(report, dict) or "schema" not in report:
+        fail("report is not an object with a 'schema' field")
+    checker = CHECKERS.get(report["schema"])
+    if checker is None:
+        fail(f"schema is '{report['schema']}', expected one of {sorted(CHECKERS)}")
+    checker(report)
 
     names = [bench["name"] for bench in report["benchmarks"]]
     print(
-        f"check_bench_schema: OK: {len(names)} benchmarks ({', '.join(names)}), "
-        f"quick={report['quick']}"
+        f"check_bench_schema: OK [{report['schema']}]: {len(names)} benchmarks "
+        f"({', '.join(names)}), quick={report['quick']}"
     )
 
 

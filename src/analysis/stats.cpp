@@ -57,9 +57,14 @@ double Summary::quantile(double q) const {
     std::sort(sorted_.begin(), sorted_.end());
     sorted_valid_ = true;
   }
-  const auto rank = static_cast<std::size_t>(
-      std::min(q * static_cast<double>(sorted_.size()),
-               static_cast<double>(sorted_.size() - 1)));
+  // Nearest-rank: the smallest value with at least ceil(q*n) of the sample
+  // at or below it, i.e. 1-based rank ceil(q*n), clamped so q=0 is the
+  // minimum. The previous floor(q*n) was one rank too high wherever q*n is
+  // an integer — median() of {1,2,3,4} came out 3 instead of 2.
+  const double n = static_cast<double>(sorted_.size());
+  const double pos = std::ceil(q * n) - 1.0;
+  const auto rank = pos <= 0.0 ? std::size_t{0}
+                               : std::min(sorted_.size() - 1, static_cast<std::size_t>(pos));
   return sorted_[rank];
 }
 

@@ -1,17 +1,66 @@
 #include "core/probe_context.hpp"
 
+#include <algorithm>
+#include <limits>
+
+#include "graph/channel_index.hpp"
+
 namespace faultroute {
+
+void ProbeArena::begin_message(const Topology& graph) {
+  // Re-fetch the channel index every message rather than caching it behind
+  // a topology-address compare: a new topology allocated where a destroyed
+  // one lived would alias such a cache (dangling index, wrongly-sized
+  // arrays). channel_index() is one call_once fast path — nothing against
+  // the cost of routing a message. Arrays only ever grow; slots stamped by
+  // a previous topology are harmless because their stamps are strictly
+  // below the post-increment epoch.
+  channels_ = &graph.channel_index();
+  if (edge_epoch_.size() < channels_->num_edge_ids()) {
+    edge_epoch_.resize(channels_->num_edge_ids(), 0);
+    edge_open_.resize(channels_->num_edge_ids(), 0);
+  }
+  if (vertex_epoch_.size() < graph.num_vertices()) {
+    vertex_epoch_.resize(graph.num_vertices(), 0);
+  }
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Epoch wrap: stamps from ~4 billion messages ago would read as live.
+    // Zero everything and restart — amortised cost is a rounding error.
+    std::fill(edge_epoch_.begin(), edge_epoch_.end(), 0u);
+    std::fill(vertex_epoch_.begin(), vertex_epoch_.end(), 0u);
+    epoch_ = 0;
+  }
+  ++epoch_;
+}
 
 ProbeContext::ProbeContext(const Topology& graph, const EdgeSampler& sampler,
                            VertexId source, RoutingMode mode,
-                           std::optional<std::uint64_t> budget)
-    : graph_(graph), sampler_(sampler), source_(source), mode_(mode), budget_(budget) {
-  if (mode_ == RoutingMode::kLocal) reached_.insert(source_);
+                           std::optional<std::uint64_t> budget, ProbeArena* arena)
+    : graph_(graph), sampler_(sampler), source_(source), mode_(mode), budget_(budget),
+      arena_(arena) {
+  if (arena_ != nullptr) {
+    arena_->begin_message(graph_);
+    channels_ = arena_->channels_;
+  }
+  if (mode_ == RoutingMode::kLocal) reached_insert(source_);
+}
+
+bool ProbeContext::reached_contains(VertexId v) const {
+  if (arena_ != nullptr) return arena_->vertex_epoch_[v] == arena_->epoch_;
+  return reached_.contains(v);
+}
+
+void ProbeContext::reached_insert(VertexId v) {
+  if (arena_ != nullptr) {
+    arena_->vertex_epoch_[v] = arena_->epoch_;
+  } else {
+    reached_.insert(v);
+  }
 }
 
 bool ProbeContext::is_reached(VertexId v) const {
   if (mode_ == RoutingMode::kOracle) return true;  // no restriction to track
-  return reached_.contains(v);
+  return reached_contains(v);
 }
 
 std::optional<std::uint64_t> ProbeContext::remaining_budget() const {
@@ -22,28 +71,47 @@ std::optional<std::uint64_t> ProbeContext::remaining_budget() const {
 
 bool ProbeContext::probe(VertexId v, int i) {
   const VertexId w = graph_.neighbor(v, i);
-  if (mode_ == RoutingMode::kLocal && !reached_.contains(v) && !reached_.contains(w)) {
+  if (mode_ == RoutingMode::kLocal && !reached_contains(v) && !reached_contains(w)) {
     throw LocalityViolation("local probe of edge not incident to the reached set");
   }
   ++total_probes_;
-  const EdgeKey key = graph_.edge_key(v, i);
   bool open;
-  const auto it = memo_.find(key);
-  if (it != memo_.end()) {
-    open = it->second;
-  } else {
-    if (budget_ && memo_.size() >= *budget_) {
-      throw ProbeBudgetExceeded("probe budget exhausted");
+  if (arena_ != nullptr) {
+    // Dense backend: the memo is a flat per-edge array, live iff stamped
+    // with this message's epoch. A hit touches one cache line and computes
+    // no edge key; only a fresh probe asks the sampler.
+    const std::uint32_t edge = channels_->edge_id_of(channels_->channel_of(v, i));
+    if (arena_->edge_epoch_[edge] == arena_->epoch_) {
+      open = arena_->edge_open_[edge] != 0;
+    } else {
+      if (budget_ && distinct_probes_ >= *budget_) {
+        throw ProbeBudgetExceeded("probe budget exhausted");
+      }
+      open = sampler_.is_open_indexed(edge, graph_.edge_key(v, i));
+      arena_->edge_epoch_[edge] = arena_->epoch_;
+      arena_->edge_open_[edge] = open ? 1 : 0;
+      ++distinct_probes_;
     }
-    open = sampler_.is_open(key);
-    memo_.emplace(key, open);
+  } else {
+    const EdgeKey key = graph_.edge_key(v, i);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      open = it->second;
+    } else {
+      if (budget_ && distinct_probes_ >= *budget_) {
+        throw ProbeBudgetExceeded("probe budget exhausted");
+      }
+      open = sampler_.is_open(key);
+      memo_.emplace(key, open);
+      ++distinct_probes_;
+    }
   }
   if (open && mode_ == RoutingMode::kLocal) {
     // An open edge incident to the reached set extends it.
-    const bool v_reached = reached_.contains(v);
-    const bool w_reached = reached_.contains(w);
-    if (v_reached && !w_reached) reached_.insert(w);
-    if (w_reached && !v_reached) reached_.insert(v);
+    const bool v_reached = reached_contains(v);
+    const bool w_reached = reached_contains(w);
+    if (v_reached && !w_reached) reached_insert(w);
+    if (w_reached && !v_reached) reached_insert(v);
   }
   return open;
 }

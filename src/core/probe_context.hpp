@@ -5,11 +5,14 @@
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "graph/topology.hpp"
 #include "percolation/edge_sampler.hpp"
 
 namespace faultroute {
+
+class ChannelIndex;
 
 /// Whether the router is restricted to local probes (Definition 1 of the
 /// paper) or may query arbitrary edges (oracle routing, Section 5).
@@ -31,6 +34,45 @@ class ProbeBudgetExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Pooled per-thread storage for the dense ProbeContext backend.
+///
+/// A batch routes many messages on one topology, and the per-message probe
+/// memo / reached set die with each message. Hash containers pay allocation
+/// and hashing for that churn on every probe of every message; the arena
+/// replaces them with two flat arrays — per-undirected-edge probe state
+/// (indexed by ChannelIndex::edge_id_of) and per-vertex reached marks —
+/// that are *epoch-stamped*: a slot is live only if its stamp equals the
+/// arena's current epoch, so "clearing" between messages is one integer
+/// increment, never a memset or an allocation. Steady-state routing through
+/// an arena does zero allocation.
+///
+/// Lifecycle: create one arena per worker thread (route_all does this in
+/// parallel_index_loop's make_body), then construct a ProbeContext per
+/// message with a pointer to it. The ProbeContext constructor bumps the
+/// epoch, invalidating every slot the previous message stamped. At most one
+/// ProbeContext may use an arena at a time (they share the same slots);
+/// arenas are not thread-safe and must not be shared across threads.
+class ProbeArena {
+ public:
+  ProbeArena() = default;
+  ProbeArena(const ProbeArena&) = delete;
+  ProbeArena& operator=(const ProbeArena&) = delete;
+
+ private:
+  friend class ProbeContext;
+
+  /// Sizes the arrays for `graph` (grow-only) and starts a fresh epoch. On
+  /// the (once per ~4 billion messages) epoch wrap, every stamp array is
+  /// zero-filled so stale stamps can never collide.
+  void begin_message(const Topology& graph);
+
+  const ChannelIndex* channels_ = nullptr;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> edge_epoch_;    // per undirected edge id
+  std::vector<std::uint8_t> edge_open_;      // valid iff edge_epoch_ == epoch_
+  std::vector<std::uint32_t> vertex_epoch_;  // reached iff == epoch_ (kLocal)
+};
+
 /// The probing interface a routing algorithm sees, and the referee that
 /// scores it.
 ///
@@ -42,12 +84,27 @@ class ProbeBudgetExceeded : public std::runtime_error {
 ///    router has connected to the source via open probed edges,
 ///  * enforces an optional probe budget (distinct edges),
 ///  * reports the complexity statistics that the paper's Definition 2 counts.
+///
+/// Two interchangeable backends hold the memo and the reached set:
+///  * hash (default, `arena == nullptr`): per-context unordered containers
+///    keyed by EdgeKey/VertexId — self-contained, right for one-off
+///    contexts;
+///  * dense (`arena != nullptr`): epoch-stamped flat arrays indexed by the
+///    topology's ChannelIndex edge ids and by vertex id, pooled in the
+///    caller's ProbeArena — the traffic engine's hot path, zero allocation
+///    per message.
+/// Every observable (probe answers, distinct/total counts, reach, budget
+/// and locality enforcement) is bit-identical across backends; the golden
+/// and equivalence suites hold the whole traffic pipeline to that.
 class ProbeContext {
  public:
   /// `budget`: maximum number of distinct edges that may be probed
-  /// (nullopt = unbounded).
+  /// (nullopt = unbounded). `arena`: selects the dense backend (see class
+  /// comment); the arena must outlive the context and serve only it until
+  /// the next ProbeContext takes it over.
   ProbeContext(const Topology& graph, const EdgeSampler& sampler, VertexId source,
-               RoutingMode mode, std::optional<std::uint64_t> budget = std::nullopt);
+               RoutingMode mode, std::optional<std::uint64_t> budget = std::nullopt,
+               ProbeArena* arena = nullptr);
 
   ProbeContext(const ProbeContext&) = delete;
   ProbeContext& operator=(const ProbeContext&) = delete;
@@ -68,7 +125,7 @@ class ProbeContext {
 
   /// Number of distinct edges probed so far — the routing complexity of
   /// Definition 2.
-  [[nodiscard]] std::uint64_t distinct_probes() const { return memo_.size(); }
+  [[nodiscard]] std::uint64_t distinct_probes() const { return distinct_probes_; }
 
   /// Total probe calls, counting repeats.
   [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
@@ -82,12 +139,22 @@ class ProbeContext {
   [[nodiscard]] std::optional<std::uint64_t> remaining_budget() const;
 
  private:
+  [[nodiscard]] bool reached_contains(VertexId v) const;
+  void reached_insert(VertexId v);
+
   const Topology& graph_;
   const EdgeSampler& sampler_;
   VertexId source_;
   RoutingMode mode_;
   std::optional<std::uint64_t> budget_;
   std::uint64_t total_probes_ = 0;
+  std::uint64_t distinct_probes_ = 0;
+
+  // Dense backend (arena_ != nullptr): pooled arrays + the channel index.
+  ProbeArena* arena_ = nullptr;
+  const ChannelIndex* channels_ = nullptr;
+
+  // Hash backend (arena_ == nullptr).
   std::unordered_map<EdgeKey, bool> memo_;
   std::unordered_set<VertexId> reached_;  // kLocal only
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace faultroute {
 
@@ -44,6 +45,27 @@ VertexId ChannelIndex::head(std::uint32_t channel) const {
 EdgeKey ChannelIndex::edge_of(std::uint32_t channel) const {
   const VertexId v = tail(channel);
   return graph_->edge_key(v, static_cast<int>(channel - offsets_[v]));
+}
+
+void ChannelIndex::build_edge_ids() const {
+  // One linear scan over (vertex, slot) pairs — i.e. over channels in
+  // ascending id order. The hash map exists only during this build; the
+  // steady-state structure is the flat edge_ids_ array.
+  edge_ids_.resize(num_channels_);
+  std::unordered_map<EdgeKey, std::uint32_t> first_seen;
+  first_seen.reserve(num_channels_ / 2 + 1);
+  std::uint32_t next_id = 0;
+  std::uint32_t channel = 0;
+  const std::uint64_t n = graph_->num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const int deg = graph_->degree(v);
+    for (int i = 0; i < deg; ++i, ++channel) {
+      const auto [it, inserted] = first_seen.emplace(graph_->edge_key(v, i), next_id);
+      if (inserted) ++next_id;
+      edge_ids_[channel] = it->second;
+    }
+  }
+  num_edge_ids_ = next_id;
 }
 
 std::uint32_t ChannelIndex::reverse(std::uint32_t channel) const {

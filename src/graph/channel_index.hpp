@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "graph/topology.hpp"
@@ -59,10 +60,39 @@ class ChannelIndex {
   /// topology violates the edge_key symmetry contract.
   [[nodiscard]] std::uint32_t reverse(std::uint32_t channel) const;
 
+  /// Dense id of the *undirected edge* a channel belongs to, contiguous in
+  /// [0, num_edge_ids()): both directions of an edge share one id, distinct
+  /// edges (including parallel edges) get distinct ids. This is the index
+  /// the dense probe-state engine keys its per-edge arrays by — edge_key()
+  /// values are canonical but sparse, edge ids are canonical *and* dense.
+  ///
+  /// Ids are assigned in order of first appearance by ascending channel id,
+  /// so they are a pure function of the topology. The table (4 bytes per
+  /// channel) is built lazily on first call — thread-safe, O(channels) once
+  /// — keeping the index cheap for users that never ask (the delivery
+  /// engine needs only the offset table). O(1) after the first call.
+  [[nodiscard]] std::uint32_t edge_id_of(std::uint32_t channel) const {
+    std::call_once(edge_ids_once_, [this] { build_edge_ids(); });
+    return edge_ids_[channel];
+  }
+
+  /// Number of distinct undirected edges (== num_edges() of the topology,
+  /// counting parallel edges separately). Builds the edge-id table if needed.
+  [[nodiscard]] std::uint32_t num_edge_ids() const {
+    std::call_once(edge_ids_once_, [this] { build_edge_ids(); });
+    return num_edge_ids_;
+  }
+
  private:
+  void build_edge_ids() const;
+
   const Topology* graph_;
   std::vector<std::uint64_t> offsets_;  // size V+1: prefix sums of degree
   std::uint32_t num_channels_ = 0;
+  // Lazily-built channel -> undirected-edge-id table (see edge_id_of).
+  mutable std::once_flag edge_ids_once_;
+  mutable std::vector<std::uint32_t> edge_ids_;
+  mutable std::uint32_t num_edge_ids_ = 0;
 };
 
 }  // namespace faultroute

@@ -21,6 +21,18 @@ class EdgeSampler {
   /// True iff the edge with canonical key `key` is open (survived).
   [[nodiscard]] virtual bool is_open(EdgeKey key) const = 0;
 
+  /// Identical answer to is_open(key), with the edge additionally named by
+  /// its dense undirected-edge id (ChannelIndex::edge_id_of). Pure samplers
+  /// ignore the id — the default forwards to is_open — but memoising layers
+  /// (SharedProbeCache) override it to index a flat array instead of hashing
+  /// the key. Callers that already hold the id (the dense ProbeContext
+  /// backend) probe through this entry point; `edge_id` must belong to the
+  /// same topology that produced `key`.
+  [[nodiscard]] virtual bool is_open_indexed(std::uint32_t edge_id, EdgeKey key) const {
+    (void)edge_id;
+    return is_open(key);
+  }
+
   /// The survival probability p this sampler realises (for reporting).
   [[nodiscard]] virtual double survival_probability() const = 0;
 };

@@ -13,13 +13,18 @@ namespace {
 /// Routing proper: every message independently through the (cached)
 /// environment. Messages are independent, so a work-stealing index loop with
 /// a fresh-per-thread router reproduces the sequential outcome exactly.
+/// With config.dense_probe_state each worker owns one ProbeArena, created
+/// here in make_body and re-epoched per message, so steady-state routing
+/// allocates nothing.
 void route_all(const Topology& graph, const EdgeSampler& env,
                const RouterFactory& make_router,
                const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
                std::vector<MessageOutcome>& outcomes, std::vector<Path>& paths) {
   parallel_index_loop(messages.size(), config.threads, [&] {
     const std::shared_ptr<Router> router = make_router();
-    return [&, router](std::size_t i) {
+    const std::shared_ptr<ProbeArena> arena =
+        config.dense_probe_state ? std::make_shared<ProbeArena>() : nullptr;
+    return [&, router, arena](std::size_t i) {
       const TrafficMessage& msg = messages[i];
       MessageOutcome& out = outcomes[i];
       out.message = msg;
@@ -29,7 +34,7 @@ void route_all(const Topology& graph, const EdgeSampler& env,
         return;
       }
       ProbeContext ctx(graph, env, msg.source, router->required_mode(),
-                       config.probe_budget);
+                       config.probe_budget, arena.get());
       std::optional<Path> path;
       try {
         path = router->route(ctx, msg.source, msg.target);
@@ -56,12 +61,23 @@ std::vector<RoutedJourney> route_and_validate(
     TrafficResult& result) {
   std::vector<Path> paths(messages.size());
 
-  std::optional<SharedProbeCache> cache;
-  if (config.use_shared_cache) cache.emplace(sampler);
-  const EdgeSampler& env = config.use_shared_cache ? static_cast<const EdgeSampler&>(*cache)
-                                                   : sampler;
-  route_all(graph, env, make_router, messages, config, result.outcomes, paths);
-  if (cache) result.unique_edges_probed = cache->unique_edges();
+  // Each probe-state backend pairs with its matching cache generation so
+  // the dense_probe_state A/B switch compares whole engines, dense against
+  // the sharded-map implementation it replaced. unique_edges() is the same
+  // deterministic set size either way.
+  std::optional<SharedProbeCache> dense_cache;
+  std::optional<ShardedProbeCache> sharded_cache;
+  const EdgeSampler* env = &sampler;
+  if (config.use_shared_cache) {
+    if (config.dense_probe_state) {
+      env = &dense_cache.emplace(sampler, graph);
+    } else {
+      env = &sharded_cache.emplace(sampler);
+    }
+  }
+  route_all(graph, *env, make_router, messages, config, result.outcomes, paths);
+  if (dense_cache) result.unique_edges_probed = dense_cache->unique_edges();
+  if (sharded_cache) result.unique_edges_probed = sharded_cache->unique_edges();
 
   // Validate paths and resolve every hop's incident slot.
   std::vector<RoutedJourney> journeys(messages.size());
@@ -83,6 +99,7 @@ std::vector<RoutedJourney> route_and_validate(
         !is_valid_open_path(graph, sampler, path, out.message.source, out.message.target)) {
       ++result.invalid_paths;
       out.routed = false;
+      out.path_edges = 0;  // the rejected path's hop count must not leak out
       continue;
     }
     RoutedJourney& journey = journeys[i];
@@ -99,6 +116,7 @@ std::vector<RoutedJourney> route_and_validate(
     if (!ok) {
       ++result.invalid_paths;
       out.routed = false;
+      out.path_edges = 0;
       journey.slots.clear();
       continue;
     }

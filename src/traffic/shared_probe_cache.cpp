@@ -1,12 +1,71 @@
 #include "traffic/shared_probe_cache.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "graph/channel_index.hpp"
 #include "random/splitmix64.hpp"
 
 namespace faultroute {
 
-SharedProbeCache::SharedProbeCache(const EdgeSampler& base) : base_(base) {}
+SharedProbeCache::SharedProbeCache(const EdgeSampler& base, const Topology& graph)
+    : base_(base),
+      graph_(graph),
+      channels_(graph.channel_index()),
+      states_(new std::atomic<std::uint8_t>[channels_.num_edge_ids()]) {
+  // Value-initialise to kUnknown; new[] of atomics leaves them
+  // default-initialised (indeterminate) otherwise.
+  for (std::uint32_t e = 0; e < channels_.num_edge_ids(); ++e) {
+    states_[e].store(kUnknown, std::memory_order_relaxed);
+  }
+}
+
+bool SharedProbeCache::is_open_indexed(std::uint32_t edge_id, EdgeKey key) const {
+  std::atomic<std::uint8_t>& slot = states_[edge_id];
+  std::uint8_t state = slot.load(std::memory_order_relaxed);
+  if (state != kUnknown) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return state == kOpen;
+  }
+  // Resolve outside any critical section: the sampler is pure, so a racing
+  // double-compute yields the same value and the CAS loser's work is merely
+  // wasted, never wrong. Relaxed ordering suffices — the published byte is
+  // the entire message, a pure function of (sampler, key).
+  const bool open = base_.is_open(key);
+  std::uint8_t expected = kUnknown;
+  if (slot.compare_exchange_strong(expected, open ? kOpen : kClosed,
+                                   std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return open;
+  }
+  // Lost the publication race: the edge was already discovered, so this
+  // probe is a hit — counting it as a miss is exactly the double-count bug
+  // the sharded-map cache had (misses_ incremented even when emplace found
+  // an existing entry).
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return expected == kOpen;
+}
 
 bool SharedProbeCache::is_open(EdgeKey key) const {
+  // Key-only callers (path verification helpers, tests) pay an O(degree)
+  // scan of one endpoint's incident slots to recover the dense id.
+  const EdgeEndpoints ends = graph_.endpoints(key);
+  const int deg = graph_.degree(ends.a);
+  for (int i = 0; i < deg; ++i) {
+    if (graph_.edge_key(ends.a, i) == key) {
+      return is_open_indexed(channels_.edge_id_of(channels_.channel_of(ends.a, i)), key);
+    }
+  }
+  throw std::invalid_argument("SharedProbeCache::is_open: key " + std::to_string(key) +
+                              " is not an edge key of " + graph_.name());
+}
+
+// ------------------------------------------------------- ShardedProbeCache
+
+ShardedProbeCache::ShardedProbeCache(const EdgeSampler& base) : base_(base) {}
+
+bool ShardedProbeCache::is_open(EdgeKey key) const {
   Shard& shard = shards_[mix64(key) % kShards];
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -20,12 +79,14 @@ bool SharedProbeCache::is_open(EdgeKey key) const {
   // yields the same value and the second insert is a no-op.
   const bool open = base_.is_open(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.memo.emplace(key, open);
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  const bool inserted = shard.memo.emplace(key, open).second;
+  // Count the miss only on actual insert — the loser of a first-probe race
+  // finds the winner's entry and is a hit, not a second miss.
+  (inserted ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
   return open;
 }
 
-std::uint64_t SharedProbeCache::unique_edges() const {
+std::uint64_t ShardedProbeCache::unique_edges() const {
   std::uint64_t total = 0;
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);

@@ -3,12 +3,16 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
+#include "graph/topology.hpp"
 #include "percolation/edge_sampler.hpp"
 
 namespace faultroute {
+
+class ChannelIndex;
 
 /// A concurrency-safe memoising layer over an EdgeSampler, shared by every
 /// message of a traffic batch.
@@ -21,24 +25,43 @@ namespace faultroute {
 /// zero as the batch grows and working sets overlap. This is the traffic
 /// engine's key hot-path optimisation.
 ///
-/// Correctness under threads: the underlying sampler is a deterministic pure
-/// function of the edge key, so the cached value is identical no matter which
-/// thread inserts it first — every quantity derived from probe *answers* is
-/// bit-identical across thread counts. The hit/miss counters are the only
-/// exception (two threads can race to first-probe the same edge and both
-/// count a miss); they are diagnostics, not results. `unique_edges()` — the
-/// deterministic amortisation measure — counts cache entries, not events.
+/// Storage is one atomic byte per undirected edge of the topology, indexed
+/// by the dense edge ids of its ChannelIndex, holding a tri-state:
+/// unknown / closed / open. A probe is a single relaxed-free array load —
+/// no mutex, no hashing, no node allocation (the pre-rewrite cache was 64
+/// mutex-sharded unordered_maps, a lock acquisition plus a hash walk per
+/// probe). Unknown slots are resolved by querying the base sampler
+/// *outside* any critical section and publishing the answer with a CAS.
 ///
-/// The map is sharded by a mixed hash of the edge key to keep lock
-/// contention negligible relative to router work.
+/// Correctness under threads: the underlying sampler is a deterministic
+/// pure function of the edge key, so two threads racing to resolve the same
+/// edge compute the same value — whichever CAS wins publishes it, the loser
+/// discards a byte-identical duplicate, and every quantity derived from
+/// probe *answers* is bit-identical across thread counts. So is
+/// `unique_edges()`: the set of published edges depends only on which edges
+/// the batch probes, never on the interleaving. The hit/miss counters are
+/// exact in total (every probe is exactly one hit or one miss, and a miss
+/// is counted only by the CAS winner, so hits + misses == probe calls and
+/// misses == unique_edges()); only the attribution of any single racing
+/// probe to hit-vs-miss is decided by the race.
 class SharedProbeCache final : public EdgeSampler {
  public:
   /// `base` must outlive the cache and be thread-safe under const access
   /// (all library samplers are; they are pure functions of the edge key).
-  explicit SharedProbeCache(const EdgeSampler& base);
+  /// `graph` is the topology whose edges will be probed — its ChannelIndex
+  /// supplies the dense edge-id space backing the state array.
+  SharedProbeCache(const EdgeSampler& base, const Topology& graph);
 
-  /// Returns the cached answer, querying (and caching) `base` on first touch.
+  /// Returns the cached answer, querying (and caching) `base` on first
+  /// touch. Resolves `key` to its dense edge id by scanning the incident
+  /// slots of one endpoint — O(degree), for callers that hold only a key;
+  /// the routing hot path holds ids and goes through is_open_indexed.
   [[nodiscard]] bool is_open(EdgeKey key) const override;
+
+  /// The O(1) entry point: one atomic array load on a hit. `edge_id` must
+  /// be `key`'s id under the constructor topology's ChannelIndex (the dense
+  /// ProbeContext backend passes exactly that).
+  [[nodiscard]] bool is_open_indexed(std::uint32_t edge_id, EdgeKey key) const override;
 
   [[nodiscard]] double survival_probability() const override {
     return base_.survival_probability();
@@ -46,9 +69,60 @@ class SharedProbeCache final : public EdgeSampler {
 
   /// Number of distinct edges whose state has been discovered — the batch's
   /// total environment-discovery cost. Deterministic across thread counts.
+  [[nodiscard]] std::uint64_t unique_edges() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Exact probe counters: hits + misses == is_open* calls, and misses ==
+  /// unique_edges() (a miss is counted only on actual publication, never by
+  /// the loser of a resolution race).
+  [[nodiscard]] std::uint64_t approx_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t approx_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint8_t kUnknown = 0;
+  static constexpr std::uint8_t kClosed = 1;
+  static constexpr std::uint8_t kOpen = 2;
+
+  const EdgeSampler& base_;
+  const Topology& graph_;
+  const ChannelIndex& channels_;
+  /// Tri-state per undirected edge id; unique_ptr because atomics are
+  /// neither copyable nor movable (std::vector would demand both).
+  std::unique_ptr<std::atomic<std::uint8_t>[]> states_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+/// The pre-rewrite cache, retained as the differential-testing and A/B
+/// baseline for the hash probe-state backend (TrafficConfig::
+/// dense_probe_state = false), exactly as run_traffic_reference preserves
+/// the container-based delivery engine: a mutex-sharded unordered_map keyed
+/// by EdgeKey, preserved behaviour-for-behaviour so bench_routing compares
+/// the dense rewrite against what it actually replaced — not against a shim.
+/// The one deliberate change is the miss-counter fix (a first-probe race
+/// used to bump misses_ for every racer; now only the racer whose emplace
+/// actually inserts counts a miss), so hits + misses == probe calls and
+/// misses == unique_edges() here too. Same determinism argument as the
+/// dense cache: the sampler is pure, so insert races are value-identical.
+class ShardedProbeCache final : public EdgeSampler {
+ public:
+  explicit ShardedProbeCache(const EdgeSampler& base);
+
+  [[nodiscard]] bool is_open(EdgeKey key) const override;
+
+  [[nodiscard]] double survival_probability() const override {
+    return base_.survival_probability();
+  }
+
+  /// Number of distinct edges discovered (cache entries). Deterministic
+  /// across thread counts, == approx_misses() after the counter fix.
   [[nodiscard]] std::uint64_t unique_edges() const;
 
-  /// Approximate probe counters (racy under concurrency; diagnostics only).
   [[nodiscard]] std::uint64_t approx_hits() const { return hits_.load(); }
   [[nodiscard]] std::uint64_t approx_misses() const { return misses_.load(); }
 

@@ -38,6 +38,13 @@ struct TrafficConfig {
   /// environment discovery. Turning it off only disables the optimisation;
   /// results are unchanged (the cache is semantically transparent).
   bool use_shared_cache = true;
+  /// Back per-message probe state (memo + reached set) with epoch-stamped
+  /// dense arrays pooled in per-thread ProbeArenas instead of per-message
+  /// hash containers. Pure A/B switch for benchmarking and differential
+  /// testing: the two backends produce bit-identical outcomes and counters
+  /// (held by tests/test_dense_probe_state.cpp); dense is several times
+  /// faster (bench/bench_routing.cpp), so leave it on.
+  bool dense_probe_state = true;
   /// Verify every returned path against the environment; invalid paths are
   /// counted and the message dropped from the delivery simulation.
   bool verify_paths = true;

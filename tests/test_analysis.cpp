@@ -31,7 +31,38 @@ TEST(Summary, QuantilesAreNearestRank) {
   for (int i = 1; i <= 100; ++i) s.add(i);
   EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
-  EXPECT_NEAR(s.quantile(0.9), 91.0, 1.0);
+  // Nearest-rank: the smallest value covering ceil(q*n) of the sample —
+  // rank ceil(0.9 * 100) = 90, i.e. the value 90 (not 91: the old floor
+  // formula overshot by one rank whenever q*n was an integer).
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.001), 1.0);  // ceil(0.1) = rank 1
+}
+
+TEST(Summary, MedianOfEvenSampleIsTheLowerMiddleValue) {
+  // Regression: floor(q*n) made median() of {1,2,3,4} return 3. Nearest-rank
+  // has no interpolation, so the even-sample median is the lower middle.
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+
+  Summary two;
+  two.add(10.0);
+  two.add(20.0);
+  EXPECT_DOUBLE_EQ(two.median(), 10.0);
+}
+
+TEST(Summary, QuantileEndpointsAreMinAndMaxOnAnySampleSize) {
+  for (int n = 1; n <= 5; ++n) {
+    Summary s;
+    for (int i = 1; i <= n; ++i) s.add(i * 10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), s.min()) << "n=" << n;
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), s.max()) << "n=" << n;
+  }
+  Summary s;
+  s.add(7.0);
+  EXPECT_THROW((void)s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)s.quantile(1.1), std::invalid_argument);
 }
 
 TEST(Summary, EmptyThrows) {

@@ -1,0 +1,251 @@
+// Dense-vs-hash probe-state equivalence suite.
+//
+// The dense routing engine (epoch-stamped ProbeArena memo + lock-free
+// tri-state SharedProbeCache) is a pure representation change: the sampler
+// is a deterministic function of the edge key, so every routed path, every
+// per-message outcome, and every counter must be bit-identical to the
+// hash-container backend it replaced. TrafficConfig::dense_probe_state is
+// the A/B switch; this suite flips it across a topology × router × workload
+// matrix (local and oracle modes, budgets, cache on/off) and holds the two
+// runs equal on everything observable. A threaded test pins down the
+// rewritten cache's counter identities: hits + misses == probe calls and
+// misses == unique_edges(), which the sharded-map cache violated by
+// counting a miss for both losers of a first-probe race.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/routers/greedy_router.hpp"
+#include "graph/channel_index.hpp"
+#include "graph/hypercube.hpp"
+#include "random/rng.hpp"
+#include "sim/registry.hpp"
+#include "traffic/shared_probe_cache.hpp"
+#include "traffic/traffic_engine.hpp"
+#include "traffic/workload.hpp"
+
+namespace faultroute {
+namespace {
+
+void expect_identical(const TrafficResult& a, const TrafficResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.messages, b.messages) << label;
+  EXPECT_EQ(a.routed, b.routed) << label;
+  EXPECT_EQ(a.failed_routing, b.failed_routing) << label;
+  EXPECT_EQ(a.censored, b.censored) << label;
+  EXPECT_EQ(a.invalid_paths, b.invalid_paths) << label;
+  EXPECT_EQ(a.delivered, b.delivered) << label;
+  EXPECT_EQ(a.stranded, b.stranded) << label;
+  EXPECT_EQ(a.total_distinct_probes, b.total_distinct_probes) << label;
+  EXPECT_EQ(a.unique_edges_probed, b.unique_edges_probed) << label;
+  EXPECT_EQ(a.max_edge_load, b.max_edge_load) << label;
+  EXPECT_EQ(a.mean_edge_load, b.mean_edge_load) << label;  // exact: same doubles
+  EXPECT_EQ(a.edges_used, b.edges_used) << label;
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.mean_queueing_delay, b.mean_queueing_delay) << label;
+  EXPECT_EQ(a.max_queueing_delay, b.max_queueing_delay) << label;
+  EXPECT_EQ(a.mean_path_edges, b.mean_path_edges) << label;
+  EXPECT_EQ(a.sim_steps, b.sim_steps) << label;
+  EXPECT_EQ(a.admission_events, b.admission_events) << label;
+  EXPECT_EQ(a.transmissions, b.transmissions) << label;
+  EXPECT_EQ(a.peak_active_channels, b.peak_active_channels) << label;
+  EXPECT_EQ(a.channels, b.channels) << label;
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size()) << label;
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const MessageOutcome& x = a.outcomes[i];
+    const MessageOutcome& y = b.outcomes[i];
+    ASSERT_EQ(x.routed, y.routed) << label << " msg " << i;
+    ASSERT_EQ(x.censored, y.censored) << label << " msg " << i;
+    ASSERT_EQ(x.delivered, y.delivered) << label << " msg " << i;
+    ASSERT_EQ(x.distinct_probes, y.distinct_probes) << label << " msg " << i;
+    ASSERT_EQ(x.path_edges, y.path_edges) << label << " msg " << i;
+    ASSERT_EQ(x.finish_time, y.finish_time) << label << " msg " << i;
+    ASSERT_EQ(x.queueing_delay, y.queueing_delay) << label << " msg " << i;
+  }
+}
+
+struct EquivalenceCase {
+  std::string topology;
+  std::string router;
+  std::string workload;
+  double p;
+  std::uint64_t budget = 0;  // 0 = unbounded
+};
+
+void check_dense_equals_hash(const EquivalenceCase& spec, bool shared_cache,
+                             unsigned threads) {
+  const auto graph = sim::make_topology(spec.topology);
+  const HashEdgeSampler env(spec.p, derive_seed(2005, 7));
+  WorkloadConfig workload = sim::make_workload(spec.workload);
+  workload.messages = 96;
+  workload.seed = derive_seed(2005, 8);
+  const auto messages = generate_workload(*graph, workload);
+  const auto factory = [&]() { return sim::make_router(spec.router, *graph); };
+
+  TrafficConfig config;
+  config.threads = threads;
+  config.use_shared_cache = shared_cache;
+  if (spec.budget > 0) config.probe_budget = spec.budget;
+
+  TrafficConfig dense = config;
+  dense.dense_probe_state = true;
+  TrafficConfig hash = config;
+  hash.dense_probe_state = false;
+
+  expect_identical(run_traffic(*graph, env, factory, messages, dense),
+                   run_traffic(*graph, env, factory, messages, hash),
+                   spec.topology + "/" + spec.router + "/" + spec.workload +
+                       " p=" + std::to_string(spec.p) +
+                       " budget=" + std::to_string(spec.budget) +
+                       (shared_cache ? " cached" : " uncached") + " threads=" +
+                       std::to_string(threads));
+}
+
+TEST(DenseProbeState, MatchesHashBackendAcrossTopologiesRoutersAndModes) {
+  // Local-mode routers on structured families, oracle routers on G(n,p),
+  // budgets tight enough to censor, the butterfly's parallel edges, and a
+  // Poisson stream — the regimes whose probe patterns differ most.
+  const std::vector<EquivalenceCase> cases = {
+      {"hypercube:8", "landmark", "permutation", 0.55},
+      {"hypercube:8", "best-first", "random-pairs", 0.6},
+      {"torus:2:12", "landmark", "poisson:2", 0.7},
+      {"de_bruijn:8", "greedy", "random-pairs", 0.55},
+      {"butterfly:4", "best-first", "bisection", 0.7},
+      {"hypercube:8", "flood", "random-pairs", 0.5, /*budget=*/400},
+      {"complete:128", "gnp-oracle", "random-pairs", 0.03},
+      {"complete:128", "gnp-local", "random-pairs", 0.03},
+  };
+  for (const auto& spec : cases) {
+    check_dense_equals_hash(spec, /*shared_cache=*/true, /*threads=*/1);
+  }
+}
+
+TEST(DenseProbeState, MatchesHashBackendWithoutTheSharedCache) {
+  // With the cache off the dense backend talks straight to the raw sampler
+  // through is_open_indexed's default; the answers must not care.
+  check_dense_equals_hash({"hypercube:8", "landmark", "permutation", 0.55},
+                          /*shared_cache=*/false, /*threads=*/1);
+  check_dense_equals_hash({"hypercube:8", "flood", "random-pairs", 0.5, 400},
+                          /*shared_cache=*/false, /*threads=*/1);
+}
+
+TEST(DenseProbeState, MatchesHashBackendUnderThreadedRouting) {
+  // Per-thread arenas + the lock-free cache versus per-message hash
+  // containers + (the same) cache, 4 workers each.
+  check_dense_equals_hash({"hypercube:8", "best-first", "random-pairs", 0.6},
+                          /*shared_cache=*/true, /*threads=*/4);
+  check_dense_equals_hash({"torus:2:12", "landmark", "poisson:2", 0.7},
+                          /*shared_cache=*/true, /*threads=*/4);
+}
+
+TEST(DenseProbeState, DenseRunIsDeterministicAcrossThreadCounts) {
+  const auto run_with = [](unsigned threads) {
+    const Hypercube g(8);
+    const HashEdgeSampler env(0.6, 11);
+    WorkloadConfig workload;
+    workload.kind = WorkloadKind::kRandomPairs;
+    workload.messages = 300;
+    workload.seed = 5;
+    TrafficConfig config;
+    config.threads = threads;
+    const auto factory = [] { return std::make_unique<BestFirstRouter>(); };
+    return run_traffic(g, env, factory, generate_workload(g, workload), config);
+  };
+  const TrafficResult one = run_with(1);
+  expect_identical(one, run_with(3), "threads=3");
+  expect_identical(one, run_with(8), "threads=8");
+}
+
+// --------------------------------------------------- SharedProbeCache counters
+
+TEST(SharedProbeCacheCounters, HitsPlusMissesEqualsProbesUnderThreadRaces) {
+  // Eight threads hammer the same edge set concurrently, so first-probe
+  // races are plentiful. Every call must land in exactly one counter, and a
+  // miss only on actual publication: hits + misses == calls and misses ==
+  // unique_edges() == the edge count. The sharded-map cache double-counted
+  // here (both racers bumped misses_), breaking both identities.
+  const Hypercube g(8);
+  const HashEdgeSampler base(0.5, 3);
+  const SharedProbeCache cache(base, g);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  std::atomic<std::uint64_t> calls{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&] {
+      std::uint64_t local_calls = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          for (int i = 0; i < g.degree(v); ++i) {
+            (void)cache.is_open(g.edge_key(v, i));
+            ++local_calls;
+          }
+        }
+      }
+      calls.fetch_add(local_calls);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(cache.approx_hits() + cache.approx_misses(), calls.load());
+  EXPECT_EQ(cache.approx_misses(), cache.unique_edges());
+  EXPECT_EQ(cache.unique_edges(), g.num_edges());
+}
+
+TEST(SharedProbeCacheCounters, ShardedOracleCountersObeyTheSameIdentities) {
+  // The retained pre-rewrite cache carries the miss-counting fix too: a
+  // first-probe race must not count a miss for both racers.
+  const Hypercube g(8);
+  const HashEdgeSampler base(0.5, 3);
+  const ShardedProbeCache cache(base);
+  constexpr int kThreads = 8;
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    pool.emplace_back([&] {
+      std::uint64_t local_calls = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        for (int i = 0; i < g.degree(v); ++i) {
+          const EdgeKey key = g.edge_key(v, i);
+          if (cache.is_open(key) != base.is_open(key)) mismatch = true;
+          ++local_calls;
+        }
+      }
+      calls.fetch_add(local_calls);
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_FALSE(mismatch);
+  EXPECT_EQ(cache.approx_hits() + cache.approx_misses(), calls.load());
+  EXPECT_EQ(cache.approx_misses(), cache.unique_edges());
+  EXPECT_EQ(cache.unique_edges(), g.num_edges());
+}
+
+TEST(SharedProbeCacheCounters, SequentialCountsAreExact) {
+  const Hypercube g(5);
+  const HashEdgeSampler base(0.5, 9);
+  const SharedProbeCache cache(base, g);
+  // First sweep: every probe is a miss. Second sweep: every probe is a hit,
+  // from either endpoint (both directions resolve to the same edge id).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (int i = 0; i < g.degree(v); ++i) {
+      const std::uint32_t edge = g.channel_index().edge_id_of(
+          g.channel_index().channel_of(v, i));
+      (void)cache.is_open_indexed(edge, g.edge_key(v, i));
+    }
+  }
+  // 2E probes over E edges: E misses (first touch) + E hits (reverse side).
+  EXPECT_EQ(cache.approx_misses(), g.num_edges());
+  EXPECT_EQ(cache.approx_hits(), g.num_edges());
+  EXPECT_EQ(cache.unique_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace faultroute

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "graph/butterfly.hpp"
 #include "graph/channel_index.hpp"
@@ -319,6 +322,32 @@ TEST(ChannelIndex, CachedInstanceIsSharedAndButterflyHasParallelChannels) {
   const ChannelIndex& b = g.channel_index();
   EXPECT_EQ(&a, &b);  // lazily built once, then cached
   EXPECT_EQ(a.num_channels(), 2 * g.num_edges());
+}
+
+TEST(ChannelIndex, EdgeIdsAreDenseSharedByDirectionsAndDistinctPerKey) {
+  // edge_id_of is the index space of the dense probe-state engine: both
+  // directions of an edge share one id, distinct keys (including the
+  // butterfly's parallel edges) get distinct ids, and the id range is
+  // exactly [0, num_edges).
+  for (const auto& entry : small_family()) {
+    const Topology& g = *entry;
+    const ChannelIndex& index = g.channel_index();
+    ASSERT_EQ(index.num_edge_ids(), g.num_edges()) << g.name();
+    std::vector<bool> seen(index.num_edge_ids(), false);
+    std::unordered_map<EdgeKey, std::uint32_t> id_of_key;
+    for (std::uint32_t c = 0; c < index.num_channels(); ++c) {
+      const std::uint32_t id = index.edge_id_of(c);
+      ASSERT_LT(id, index.num_edge_ids()) << g.name();
+      seen[id] = true;
+      // One id per key, one key per id — a bijection onto the edge set.
+      const auto [it, inserted] = id_of_key.emplace(index.edge_of(c), id);
+      EXPECT_EQ(it->second, id) << g.name() << " channel " << c;
+      EXPECT_EQ(index.edge_id_of(index.reverse(c)), id) << g.name() << " channel " << c;
+    }
+    EXPECT_EQ(id_of_key.size(), index.num_edge_ids()) << g.name();
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool s) { return s; }))
+        << g.name() << ": edge ids are not contiguous";
+  }
 }
 
 }  // namespace

@@ -118,6 +118,174 @@ TEST(ProbeContext, ProbeBetweenFindsTheEdge) {
   EXPECT_THROW(ctx.probe_between(0, 5), std::invalid_argument);  // diagonal
 }
 
+// ---------------------------------------- both backends, parameterised
+//
+// The dense (arena-backed) and hash backends must be observably identical.
+// Each test below runs once per backend and once per routing mode where the
+// mode matters; `arena_for` hands out nullptr (hash) or a live arena (dense).
+
+class ProbeContextBackends : public ::testing::TestWithParam<bool> {
+ protected:
+  ProbeArena* arena_for() { return GetParam() ? &arena_ : nullptr; }
+
+ private:
+  ProbeArena arena_;
+};
+
+INSTANTIATE_TEST_SUITE_P(HashAndDense, ProbeContextBackends, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "dense" : "hash";
+                         });
+
+TEST_P(ProbeContextBackends, BudgetZeroThrowsOnTheVeryFirstFreshProbe) {
+  const Hypercube g(4);
+  const HashEdgeSampler s(1.0, 1);
+  for (const RoutingMode mode : {RoutingMode::kLocal, RoutingMode::kOracle}) {
+    ProbeContext ctx(g, s, 0, mode, /*budget=*/0, arena_for());
+    EXPECT_EQ(ctx.remaining_budget(), 0u);
+    EXPECT_THROW(ctx.probe(0, 0), ProbeBudgetExceeded);
+    // The rejected probe still counted as a call, but discovered nothing.
+    EXPECT_EQ(ctx.total_probes(), 1u);
+    EXPECT_EQ(ctx.distinct_probes(), 0u);
+  }
+}
+
+TEST_P(ProbeContextBackends, ExactlyAtBudgetSucceedsAndOneMoreThrows) {
+  const Hypercube g(4);
+  const HashEdgeSampler s(1.0, 1);
+  for (const RoutingMode mode : {RoutingMode::kLocal, RoutingMode::kOracle}) {
+    ProbeContext ctx(g, s, 0, mode, /*budget=*/4, arena_for());
+    for (int i = 0; i < 4; ++i) EXPECT_NO_THROW(ctx.probe(0, i));  // spends it all
+    EXPECT_EQ(ctx.distinct_probes(), 4u);
+    EXPECT_EQ(ctx.remaining_budget(), 0u);
+    // Memoised re-probes stay free after exhaustion; a fresh edge throws.
+    EXPECT_NO_THROW(ctx.probe(0, 3));
+    EXPECT_THROW(ctx.probe(1, 1), ProbeBudgetExceeded);
+    EXPECT_EQ(ctx.distinct_probes(), 4u);
+  }
+}
+
+TEST_P(ProbeContextBackends, RemainingBudgetIsConsistentWithTheThrowCondition) {
+  // Invariant under any probe sequence: a probe throws ProbeBudgetExceeded
+  // iff it is fresh and remaining_budget() == 0, and remaining_budget() ==
+  // budget - distinct_probes() throughout.
+  const Hypercube g(4);
+  const HashEdgeSampler s(0.7, 5);
+  constexpr std::uint64_t kBudget = 6;
+  ProbeContext ctx(g, s, 0, RoutingMode::kOracle, kBudget, arena_for());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (int i = 0; i < g.degree(v); ++i) {
+      const std::uint64_t before = ctx.distinct_probes();
+      ASSERT_EQ(ctx.remaining_budget(), kBudget - before);
+      try {
+        ctx.probe(v, i);
+        EXPECT_LE(ctx.distinct_probes(), kBudget);
+      } catch (const ProbeBudgetExceeded&) {
+        EXPECT_EQ(before, kBudget);  // threw exactly at exhaustion
+        EXPECT_EQ(ctx.remaining_budget(), 0u);
+        return;  // invariant held all the way to exhaustion
+      }
+    }
+  }
+  FAIL() << "budget was never exhausted; the sweep should overrun 6 edges";
+}
+
+TEST_P(ProbeContextBackends, UnboundedBudgetReportsNullopt) {
+  const Hypercube g(3);
+  const HashEdgeSampler s(1.0, 1);
+  ProbeContext ctx(g, s, 0, RoutingMode::kOracle, std::nullopt, arena_for());
+  EXPECT_EQ(ctx.remaining_budget(), std::nullopt);
+  ctx.probe(0, 0);
+  EXPECT_EQ(ctx.remaining_budget(), std::nullopt);
+}
+
+// ----------------------------------------------------- dense backend proper
+
+TEST(ProbeArena, EpochBumpIsolatesMessagesWithoutLeakingState) {
+  const Hypercube g(4);
+  const HashEdgeSampler s(1.0, 9);
+  ProbeArena arena;
+  {
+    ProbeContext first(g, s, 0, RoutingMode::kLocal, std::nullopt, &arena);
+    first.probe(0, 0);
+    first.probe(0, 1);
+    EXPECT_EQ(first.distinct_probes(), 2u);
+    EXPECT_TRUE(first.is_reached(1));
+  }
+  // Same arena, next message: the previous memo and reached set must be
+  // invisible — the same edges count as distinct again, and vertex 1 is no
+  // longer reached (only the new source is).
+  ProbeContext second(g, s, 2, RoutingMode::kLocal, std::nullopt, &arena);
+  EXPECT_EQ(second.distinct_probes(), 0u);
+  EXPECT_FALSE(second.is_reached(1));
+  EXPECT_TRUE(second.is_reached(2));
+  EXPECT_THROW(second.probe(0, 0), LocalityViolation);  // 0-1 not incident to {2}
+  second.probe(2, 0);
+  EXPECT_EQ(second.distinct_probes(), 1u);
+}
+
+TEST(ProbeArena, SurvivesTopologySwitches) {
+  // Scenario sweeps reuse one worker arena across cells with different
+  // topologies; the arena must resize and reset cleanly.
+  const Hypercube cube(4);
+  const Mesh mesh(2, 8);
+  const HashEdgeSampler s(1.0, 3);
+  ProbeArena arena;
+  {
+    ProbeContext ctx(cube, s, 0, RoutingMode::kLocal, std::nullopt, &arena);
+    ctx.probe(0, 0);
+    EXPECT_EQ(ctx.distinct_probes(), 1u);
+  }
+  {
+    ProbeContext ctx(mesh, s, 0, RoutingMode::kLocal, std::nullopt, &arena);
+    EXPECT_EQ(ctx.distinct_probes(), 0u);
+    EXPECT_TRUE(ctx.probe_between(0, 1));
+    EXPECT_TRUE(ctx.is_reached(1));
+  }
+  ProbeContext back(cube, s, 1, RoutingMode::kOracle, std::nullopt, &arena);
+  back.probe(1, 0);
+  EXPECT_EQ(back.distinct_probes(), 1u);
+}
+
+TEST(ProbeContext, DenseAndHashBackendsAgreeOnEveryObservable) {
+  // Drive both backends through an identical mixed probe sequence (repeats,
+  // both endpoints of the same edge, reach growth) and compare every
+  // observable after every step.
+  const Hypercube g(5);
+  const HashEdgeSampler s(0.6, 31);
+  ProbeArena arena;
+  ProbeContext hash(g, s, 0, RoutingMode::kLocal);
+  ProbeContext dense(g, s, 0, RoutingMode::kLocal, std::nullopt, &arena);
+  std::uint64_t frontier = 0;  // walk outward along whatever opens
+  for (int round = 0; round < 40; ++round) {
+    const VertexId v = frontier;
+    for (int i = 0; i < g.degree(v); ++i) {
+      bool hash_open = false;
+      bool dense_open = false;
+      bool hash_threw = false;
+      bool dense_threw = false;
+      try {
+        hash_open = hash.probe(v, i);
+      } catch (const LocalityViolation&) {
+        hash_threw = true;
+      }
+      try {
+        dense_open = dense.probe(v, i);
+      } catch (const LocalityViolation&) {
+        dense_threw = true;
+      }
+      ASSERT_EQ(hash_threw, dense_threw) << "round " << round << " slot " << i;
+      ASSERT_EQ(hash_open, dense_open) << "round " << round << " slot " << i;
+      ASSERT_EQ(hash.distinct_probes(), dense.distinct_probes());
+      ASSERT_EQ(hash.total_probes(), dense.total_probes());
+      if (!hash_threw && hash_open) frontier = g.neighbor(v, i);
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(hash.is_reached(v), dense.is_reached(v)) << "vertex " << v;
+  }
+}
+
 // ------------------------------------------------------------------- Path
 
 TEST(Path, ValidOpenPathAccepts) {

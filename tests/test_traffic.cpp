@@ -147,7 +147,7 @@ TEST(Workload, DeterministicInSeed) {
 TEST(SharedProbeCache, TransparentOverBaseSampler) {
   const Hypercube g(6);
   const HashEdgeSampler base(0.5, 77);
-  const SharedProbeCache cache(base);
+  const SharedProbeCache cache(base, g);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     for (int i = 0; i < g.degree(v); ++i) {
       const EdgeKey key = g.edge_key(v, i);
@@ -162,7 +162,7 @@ TEST(SharedProbeCache, TransparentOverBaseSampler) {
 TEST(SharedProbeCache, ConsistentUnderConcurrentProbing) {
   const Hypercube g(8);
   const HashEdgeSampler base(0.5, 3);
-  const SharedProbeCache cache(base);
+  const SharedProbeCache cache(base, g);
   std::vector<std::thread> pool;
   std::atomic<bool> mismatch{false};
   for (int w = 0; w < 8; ++w) {
@@ -372,6 +372,29 @@ TEST(TrafficEngine, InvalidPathsAreExcludedFromRoutedAndDelivery) {
   EXPECT_EQ(r.routed + r.failed_routing + r.censored + r.invalid_paths, r.messages);
   // ...and rejected messages never enter the delivery simulation.
   EXPECT_EQ(r.delivered + r.stranded, r.routed);
+}
+
+TEST(TrafficEngine, InvalidPathOutcomesReportZeroPathEdges) {
+  // Regression: invalidation reset out.routed but left out.path_edges at the
+  // rejected path's hop count, so consumers summing path_edges over
+  // non-delivered outcomes double-counted work that never happened.
+  const Hypercube g(6);
+  const HashEdgeSampler env(0.3, 5);
+  WorkloadConfig workload;
+  workload.kind = WorkloadKind::kRandomPairs;
+  workload.messages = 50;
+  const auto factory = [] { return std::make_unique<BlindShortestPathRouter>(); };
+  const TrafficResult r =
+      run_traffic(g, env, factory, generate_workload(g, workload), {});
+  ASSERT_GT(r.invalid_paths, 0u);
+  std::uint64_t invalidated = 0;
+  for (const MessageOutcome& out : r.outcomes) {
+    if (out.routed || out.censored) continue;
+    // Both failed-routing and invalidated messages must report zero hops.
+    EXPECT_EQ(out.path_edges, 0u);
+    ++invalidated;
+  }
+  EXPECT_EQ(invalidated, r.invalid_paths + r.failed_routing);
 }
 
 TEST(TrafficEngine, TwoEdgeContentionHandComputed) {

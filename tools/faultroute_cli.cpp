@@ -279,6 +279,16 @@ int cmd_traffic(const Args& args) {
                                 "'");
   }
 
+  // --probe-state hash routes phase 1 through the per-message hash-container
+  // backend instead of the pooled dense arrays — the routing-phase analogue
+  // of --engine, for A/B timing and differential runs. Results identical.
+  const std::string probe_state = args.get("probe-state", "dense");
+  if (probe_state != "dense" && probe_state != "hash") {
+    throw std::invalid_argument("--probe-state must be 'dense' or 'hash', got '" +
+                                probe_state + "'");
+  }
+  config.dense_probe_state = probe_state == "dense";
+
   const HashEdgeSampler env(p, seed);
   const auto messages = generate_workload(*graph, workload);
   const auto factory = [&]() { return sim::make_router(router_name, *graph); };
@@ -356,6 +366,7 @@ void print_usage() {
             << "                   --capacity C --threads T --budget B --target V\n"
             << "                   --rate R --shared-cache true|false\n"
             << "                   --engine event|reference (delivery engine A/B)\n"
+            << "                   --probe-state dense|hash (routing backend A/B)\n"
             << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
             << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
             << "\nfull reference: docs/CLI.md; scenario grammar: docs/SCENARIOS.md\n";
