@@ -8,6 +8,7 @@ field selects the rule set:
 
   * faultroute.bench.delivery.v1  (bench_delivery: event vs reference engine)
   * faultroute.bench.routing.v1   (bench_routing: dense vs hash probe state)
+  * faultroute.bench.adjacency.v1 (bench_adjacency: flat CSR vs implicit)
 
 Run by CI after `bench_delivery --quick --json` / `bench_routing --quick
 --json` so the machine-readable perf trajectories (BENCH_traffic.json,
@@ -20,6 +21,7 @@ import sys
 
 DELIVERY_SCHEMA = "faultroute.bench.delivery.v1"
 ROUTING_SCHEMA = "faultroute.bench.routing.v1"
+ADJACENCY_SCHEMA = "faultroute.bench.adjacency.v1"
 SCHEMA_VERSION = 1
 
 DELIVERY_TOP_LEVEL = {
@@ -74,6 +76,26 @@ ROUTING_BENCHMARK_FIELDS = {
     "speedup": (int, float),
     "identical": bool,
 }
+
+
+ADJACENCY_TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "quick": bool,
+    "benchmarks": list,
+}
+
+ADJACENCY_BENCHMARK_FIELDS = {
+    "name": str,
+    "kind": str,
+    "cells": int,
+    "flat_ms": (int, float),
+    "implicit_ms": (int, float),
+    "speedup": (int, float),
+    "identical": bool,
+}
+
+ADJACENCY_KINDS = {"traffic", "percolation"}
 
 
 def fail(message: str) -> None:
@@ -135,9 +157,27 @@ def check_routing(report: dict) -> None:
             fail(f"{where}: no cells executed")
 
 
+def check_adjacency(report: dict) -> None:
+    check_common_top_level(report, ADJACENCY_TOP_LEVEL)
+    for i, bench in enumerate(report["benchmarks"]):
+        where = f"benchmarks[{i}]"
+        check_fields(bench, ADJACENCY_BENCHMARK_FIELDS, where)
+        if bench["kind"] not in ADJACENCY_KINDS:
+            fail(f"{where}: kind is '{bench['kind']}', expected one of "
+                 f"{sorted(ADJACENCY_KINDS)}")
+        if not bench["identical"]:
+            fail(f"{where} ('{bench['name']}'): adjacency backends disagree "
+                 "(identical=false)")
+        if bench["flat_ms"] < 0 or bench["implicit_ms"] < 0:
+            fail(f"{where}: negative time")
+        if bench["cells"] <= 0:
+            fail(f"{where}: no cells executed")
+
+
 CHECKERS = {
     DELIVERY_SCHEMA: check_delivery,
     ROUTING_SCHEMA: check_routing,
+    ADJACENCY_SCHEMA: check_adjacency,
 }
 
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "graph/flat_adjacency.hpp"
 #include "graph/topology.hpp"
 #include "percolation/edge_sampler.hpp"
 
@@ -14,6 +15,12 @@ using Path = std::vector<VertexId>;
 /// of which are open under `sampler`. An empty path is never valid; a
 /// single-vertex path is valid iff from == to == path[0].
 [[nodiscard]] bool is_valid_open_path(const Topology& graph, const EdgeSampler& sampler,
+                                      const Path& path, VertexId from, VertexId to);
+
+/// Identical verdict through an adjacency view: CSR row scans (and indexed
+/// sampler queries) when the view holds a snapshot, the virtual interface
+/// otherwise. The Topology overload above is this one with no snapshot.
+[[nodiscard]] bool is_valid_open_path(const AdjacencyView& adj, const EdgeSampler& sampler,
                                       const Path& path, VertexId from, VertexId to);
 
 /// Removes loops from a walk: whenever a vertex repeats, the portion between

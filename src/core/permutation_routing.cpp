@@ -17,22 +17,36 @@ PermutationRoutingResult route_permutation(
     const PermutationRoutingConfig& config) {
   PermutationRoutingResult result;
   Rng pair_rng(config.pair_seed);
+  const FlatAdjacency* flat = resolve_adjacency(graph, config.adjacency);
+
+  // Congestion accumulator: dense per-edge-id vector plus a first-touch list
+  // over the snapshot, EdgeKey hash map on the implicit path. Same summary
+  // either way (summarize_edge_id_load pools directions by construction).
   std::unordered_map<EdgeKey, std::uint64_t> edge_load;
+  std::vector<std::uint64_t> edge_id_load;
+  std::vector<std::uint32_t> used_edges;
+  if (flat != nullptr) edge_id_load.resize(flat->num_edge_ids(), 0);
+
+  // One router reused across the batch (as route_all does per worker), so
+  // its pooled search state — dense marks on the flat path — amortizes
+  // instead of being re-allocated per pair. Routers are pure functions of
+  // (ctx, u, v); reuse cannot change any outcome.
+  const auto router = make_router();
 
   for (std::uint64_t i = 0; i < config.pairs; ++i) {
     const VertexId u = uniform_below(pair_rng, graph.num_vertices());
     const VertexId v = uniform_below(pair_rng, graph.num_vertices());
     if (u == v) continue;
     const std::optional<bool> connected =
-        open_connected(graph, sampler, u, v, config.connectivity_cap);
+        open_connected(graph, sampler, u, v, config.connectivity_cap, config.adjacency);
     if (!connected.has_value() || !*connected) {
       ++result.skipped_disconnected;
       continue;
     }
     ++result.pairs;
 
-    const auto router = make_router();
-    ProbeContext ctx(graph, sampler, u, router->required_mode(), config.probe_budget);
+    ProbeContext ctx(graph, sampler, u, router->required_mode(), config.probe_budget,
+                     nullptr, flat);
     std::optional<Path> path;
     try {
       path = router->route(ctx, u, v);
@@ -47,13 +61,24 @@ PermutationRoutingResult route_permutation(
     ++result.routed;
     result.total_path_edges += path_length(*path);
     for (std::size_t step = 0; step + 1 < path->size(); ++step) {
-      const int idx = edge_index_of(graph, (*path)[step], (*path)[step + 1]);
-      if (idx < 0) continue;  // verification elsewhere; defensive here
-      ++edge_load[graph.edge_key((*path)[step], idx)];
+      const VertexId a = (*path)[step];
+      const VertexId b = (*path)[step + 1];
+      if (flat != nullptr) {
+        const int idx = edge_index_of(*flat, a, b);
+        if (idx < 0) continue;  // verification elsewhere; defensive here
+        const std::uint32_t id = flat->edge_id(a, idx);
+        if (edge_id_load[id]++ == 0) used_edges.push_back(id);
+      } else {
+        const int idx = edge_index_of(graph, a, b);
+        if (idx < 0) continue;
+        ++edge_load[graph.edge_key(a, idx)];
+      }
     }
   }
 
-  const EdgeLoadStats congestion = summarize_edge_load(edge_load);
+  const EdgeLoadStats congestion = flat != nullptr
+                                       ? summarize_edge_id_load(edge_id_load, used_edges)
+                                       : summarize_edge_load(edge_load);
   result.max_edge_load = congestion.max_load;
   result.mean_edge_load = congestion.mean_load;
   return result;

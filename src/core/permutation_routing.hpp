@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/router.hpp"
+#include "graph/flat_adjacency.hpp"
 #include "graph/topology.hpp"
 #include "percolation/edge_sampler.hpp"
 
@@ -46,11 +47,17 @@ struct PermutationRoutingConfig {
   std::uint64_t connectivity_cap = 0;
   /// Probe budget per pair (nullopt = unbounded); exceeding counts as failed.
   std::optional<std::uint64_t> probe_budget;
+  /// Adjacency backend (graph/flat_adjacency.hpp): with a snapshot, probes,
+  /// connectivity prechecks, and the congestion accumulation all run dense
+  /// (per-edge-id vector instead of an EdgeKey hash map). Results identical.
+  AdjacencyMode adjacency = AdjacencyMode::kAuto;
 };
 
 /// Routes `config.pairs` random source/target pairs through one shared
-/// percolation environment with a fresh router instance per pair (provided
-/// by `make_router`), and aggregates probe cost and path congestion.
+/// percolation environment with one router instance (from `make_router`)
+/// reused across the batch — routers are pure functions of (ctx, u, v), so
+/// reuse only pools their search scratch — and aggregates probe cost and
+/// path congestion.
 [[nodiscard]] PermutationRoutingResult route_permutation(
     const Topology& graph, const EdgeSampler& sampler,
     const std::function<std::unique_ptr<Router>()>& make_router,

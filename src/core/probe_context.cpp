@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "graph/channel_index.hpp"
+#include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
 
@@ -35,9 +36,10 @@ void ProbeArena::begin_message(const Topology& graph) {
 
 ProbeContext::ProbeContext(const Topology& graph, const EdgeSampler& sampler,
                            VertexId source, RoutingMode mode,
-                           std::optional<std::uint64_t> budget, ProbeArena* arena)
+                           std::optional<std::uint64_t> budget, ProbeArena* arena,
+                           const FlatAdjacency* flat)
     : graph_(graph), sampler_(sampler), source_(source), mode_(mode), budget_(budget),
-      arena_(arena) {
+      arena_(arena), flat_(flat) {
   if (arena_ != nullptr) {
     arena_->begin_message(graph_);
     channels_ = arena_->channels_;
@@ -69,8 +71,34 @@ std::optional<std::uint64_t> ProbeContext::remaining_budget() const {
   return *budget_ > used ? *budget_ - used : 0;
 }
 
-bool ProbeContext::probe(VertexId v, int i) {
-  const VertexId w = graph_.neighbor(v, i);
+namespace {
+
+/// Adjacency accessors the shared probe bookkeeping is parameterized on:
+/// array loads off the CSR snapshot on the flat path, virtual dispatch (and
+/// the channel index's edge-id table) on the implicit path. One bookkeeping
+/// body + two accessor structs = the backends cannot drift.
+struct FlatAccess {
+  const FlatAdjacency* flat;
+  [[nodiscard]] VertexId neighbor(VertexId v, int i) const { return flat->neighbor(v, i); }
+  [[nodiscard]] std::uint32_t edge_id(VertexId v, int i) const { return flat->edge_id(v, i); }
+  [[nodiscard]] EdgeKey edge_key(VertexId v, int i) const { return flat->edge_key(v, i); }
+};
+
+struct VirtualAccess {
+  const Topology* graph;
+  const ChannelIndex* channels;  // non-null only on the dense backend
+  [[nodiscard]] VertexId neighbor(VertexId v, int i) const { return graph->neighbor(v, i); }
+  [[nodiscard]] std::uint32_t edge_id(VertexId v, int i) const {
+    return channels->edge_id_of(channels->channel_of(v, i));
+  }
+  [[nodiscard]] EdgeKey edge_key(VertexId v, int i) const { return graph->edge_key(v, i); }
+};
+
+}  // namespace
+
+template <typename Access>
+bool ProbeContext::probe_with(const Access& access, VertexId v, int i) {
+  const VertexId w = access.neighbor(v, i);
   if (mode_ == RoutingMode::kLocal && !reached_contains(v) && !reached_contains(w)) {
     throw LocalityViolation("local probe of edge not incident to the reached set");
   }
@@ -80,20 +108,20 @@ bool ProbeContext::probe(VertexId v, int i) {
     // Dense backend: the memo is a flat per-edge array, live iff stamped
     // with this message's epoch. A hit touches one cache line and computes
     // no edge key; only a fresh probe asks the sampler.
-    const std::uint32_t edge = channels_->edge_id_of(channels_->channel_of(v, i));
+    const std::uint32_t edge = access.edge_id(v, i);
     if (arena_->edge_epoch_[edge] == arena_->epoch_) {
       open = arena_->edge_open_[edge] != 0;
     } else {
       if (budget_ && distinct_probes_ >= *budget_) {
         throw ProbeBudgetExceeded("probe budget exhausted");
       }
-      open = sampler_.is_open_indexed(edge, graph_.edge_key(v, i));
+      open = sampler_.is_open_indexed(edge, access.edge_key(v, i));
       arena_->edge_epoch_[edge] = arena_->epoch_;
       arena_->edge_open_[edge] = open ? 1 : 0;
       ++distinct_probes_;
     }
   } else {
-    const EdgeKey key = graph_.edge_key(v, i);
+    const EdgeKey key = access.edge_key(v, i);
     const auto it = memo_.find(key);
     if (it != memo_.end()) {
       open = it->second;
@@ -116,8 +144,13 @@ bool ProbeContext::probe(VertexId v, int i) {
   return open;
 }
 
+bool ProbeContext::probe(VertexId v, int i) {
+  if (flat_ != nullptr) return probe_with(FlatAccess{flat_}, v, i);
+  return probe_with(VirtualAccess{&graph_, channels_}, v, i);
+}
+
 bool ProbeContext::probe_between(VertexId a, VertexId b) {
-  const int i = edge_index_of(graph_, a, b);
+  const int i = flat_ != nullptr ? edge_index_of(*flat_, a, b) : edge_index_of(graph_, a, b);
   if (i < 0) throw std::invalid_argument("probe_between: vertices are not adjacent");
   return probe(a, i);
 }

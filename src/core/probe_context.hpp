@@ -13,6 +13,7 @@
 namespace faultroute {
 
 class ChannelIndex;
+class FlatAdjacency;
 
 /// Whether the router is restricted to local probes (Definition 1 of the
 /// paper) or may query arbitrary edges (oracle routing, Section 5).
@@ -101,10 +102,15 @@ class ProbeContext {
   /// `budget`: maximum number of distinct edges that may be probed
   /// (nullopt = unbounded). `arena`: selects the dense backend (see class
   /// comment); the arena must outlive the context and serve only it until
-  /// the next ProbeContext takes it over.
+  /// the next ProbeContext takes it over. `flat`: optional CSR adjacency
+  /// snapshot of `graph` (graph/flat_adjacency.hpp); when given, probes
+  /// resolve neighbor / edge key / edge id with array loads instead of
+  /// virtual dispatch — a pure representation change, observable-identical
+  /// to the implicit path, composing with either probe-state backend. Must
+  /// be a snapshot of `graph` and outlive the context.
   ProbeContext(const Topology& graph, const EdgeSampler& sampler, VertexId source,
                RoutingMode mode, std::optional<std::uint64_t> budget = std::nullopt,
-               ProbeArena* arena = nullptr);
+               ProbeArena* arena = nullptr, const FlatAdjacency* flat = nullptr);
 
   ProbeContext(const ProbeContext&) = delete;
   ProbeContext& operator=(const ProbeContext&) = delete;
@@ -122,6 +128,11 @@ class ProbeContext {
   [[nodiscard]] const Topology& graph() const { return graph_; }
   [[nodiscard]] VertexId source() const { return source_; }
   [[nodiscard]] RoutingMode mode() const { return mode_; }
+
+  /// The CSR snapshot this context probes through, or nullptr on the
+  /// implicit path. Routers use it to iterate neighbor rows without virtual
+  /// dispatch (wrap it in an AdjacencyView to stay backend-agnostic).
+  [[nodiscard]] const FlatAdjacency* flat_adjacency() const { return flat_; }
 
   /// Number of distinct edges probed so far — the routing complexity of
   /// Definition 2.
@@ -141,6 +152,12 @@ class ProbeContext {
  private:
   [[nodiscard]] bool reached_contains(VertexId v) const;
   void reached_insert(VertexId v);
+  /// The probe bookkeeping (locality, budget, memo, reached-set growth),
+  /// shared by the flat and implicit paths and parameterized only on how
+  /// neighbor / edge id / edge key are resolved — one body, so the two
+  /// adjacency backends cannot drift.
+  template <typename Access>
+  bool probe_with(const Access& access, VertexId v, int i);
 
   const Topology& graph_;
   const EdgeSampler& sampler_;
@@ -153,6 +170,8 @@ class ProbeContext {
   // Dense backend (arena_ != nullptr): pooled arrays + the channel index.
   ProbeArena* arena_ = nullptr;
   const ChannelIndex* channels_ = nullptr;
+  // Flat adjacency snapshot (nullptr = implicit virtual path).
+  const FlatAdjacency* flat_ = nullptr;
 
   // Hash backend (arena_ == nullptr).
   std::unordered_map<EdgeKey, bool> memo_;

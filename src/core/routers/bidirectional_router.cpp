@@ -1,38 +1,48 @@
 #include "core/routers/bidirectional_router.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
+
+#include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
 
 namespace {
 
+/// One BFS ball, templated over the marks backend. The frontier is a pooled
+/// vector with a head cursor; its live size (size() - head) matches the
+/// std::queue-based original exactly.
+template <typename Marks>
 struct Side {
-  std::unordered_map<VertexId, VertexId> parent;
-  std::queue<VertexId> frontier;
+  Marks* parent;
+  std::vector<VertexId>* frontier;
+  std::size_t head = 0;
+
+  [[nodiscard]] std::size_t live() const { return frontier->size() - head; }
 };
 
-Path chain_to_root(const Side& side, VertexId from) {
+template <typename Marks>
+Path chain_to_root(const Side<Marks>& side, VertexId from) {
   Path path;
-  for (VertexId x = from;; x = side.parent.at(x)) {
+  for (VertexId x = from;; x = side.parent->at(x)) {
     path.push_back(x);
-    if (side.parent.at(x) == x) break;
+    if (side.parent->at(x) == x) break;
   }
   return path;  // from .. root
 }
 
-}  // namespace
-
-std::optional<Path> BidirectionalBfsRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
-  if (u == v) return Path{u};
-  const Topology& graph = ctx.graph();
-  Side from_u;
-  Side from_v;
-  from_u.parent.emplace(u, u);
-  from_u.frontier.push(u);
-  from_v.parent.emplace(v, v);
-  from_v.frontier.push(v);
+template <typename Marks>
+std::optional<Path> bidirectional_search(ProbeContext& ctx, const AdjacencyView& adj,
+                                         VertexId u, VertexId v, Side<Marks> from_u,
+                                         Side<Marks> from_v) {
+  const std::uint64_t n = adj.graph().num_vertices();
+  from_u.parent->begin(n);
+  from_v.parent->begin(n);
+  from_u.frontier->clear();
+  from_v.frontier->clear();
+  from_u.parent->emplace(u, u);
+  from_u.frontier->push_back(u);
+  from_v.parent->emplace(v, v);
+  from_v.frontier->push_back(v);
 
   const auto join = [&](VertexId meeting, VertexId via_u_side) {
     // Path = u .. via_u_side, meeting .. v. `meeting` is already in from_v.
@@ -43,30 +53,42 @@ std::optional<Path> BidirectionalBfsRouter::route(ProbeContext& ctx, VertexId u,
     return simplify_walk(left);
   };
 
-  while (!from_u.frontier.empty() || !from_v.frontier.empty()) {
+  while (from_u.live() > 0 || from_v.live() > 0) {
     // Expand the side with the smaller live frontier (ties: u side).
     const bool expand_u =
-        !from_u.frontier.empty() &&
-        (from_v.frontier.empty() || from_u.frontier.size() <= from_v.frontier.size());
-    Side& mine = expand_u ? from_u : from_v;
-    Side& other = expand_u ? from_v : from_u;
-    const VertexId x = mine.frontier.front();
-    mine.frontier.pop();
-    const int deg = graph.degree(x);
+        from_u.live() > 0 && (from_v.live() == 0 || from_u.live() <= from_v.live());
+    Side<Marks>& mine = expand_u ? from_u : from_v;
+    Side<Marks>& other = expand_u ? from_v : from_u;
+    const VertexId x = (*mine.frontier)[mine.head++];
+    const int deg = adj.degree(x);
     for (int i = 0; i < deg; ++i) {
-      const VertexId y = graph.neighbor(x, i);
-      if (mine.parent.contains(y)) continue;
+      const VertexId y = adj.neighbor(x, i);
+      if (mine.parent->contains(y)) continue;
       if (!ctx.probe(x, i)) continue;
-      if (other.parent.contains(y)) {
+      if (other.parent->contains(y)) {
         // The two balls touch along edge (x, y).
         if (expand_u) return join(y, x);
         return join(x, y);
       }
-      mine.parent.emplace(y, x);
-      mine.frontier.push(y);
+      mine.parent->emplace(y, x);
+      mine.frontier->push_back(y);
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Path> BidirectionalBfsRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  if (u == v) return Path{u};
+  const AdjacencyView adj(ctx.graph(), ctx.flat_adjacency());
+  if (ctx.flat_adjacency() != nullptr) {
+    return bidirectional_search(ctx, adj, u, v,
+                                Side<DenseMarks>{&dense_parent_u_, &queue_u_},
+                                Side<DenseMarks>{&dense_parent_v_, &queue_v_});
+  }
+  return bidirectional_search(ctx, adj, u, v, Side<HashMarks>{&hash_parent_u_, &queue_u_},
+                              Side<HashMarks>{&hash_parent_v_, &queue_v_});
 }
 
 }  // namespace faultroute

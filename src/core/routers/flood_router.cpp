@@ -1,18 +1,25 @@
 #include "core/routers/flood_router.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
+
+#include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
 
-std::optional<Path> FloodRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
-  if (u == v) return Path{u};
-  const Topology& graph = ctx.graph();
-  std::unordered_map<VertexId, VertexId> parent;
-  std::queue<VertexId> queue;
+namespace {
+
+/// The flood BFS, templated over the marks backend (dense vertex-indexed
+/// arrays on the flat path, hash maps on the implicit path). The queue is a
+/// caller-pooled vector with a head cursor — identical FIFO order to a
+/// std::queue, no per-message allocation in steady state.
+template <typename Marks>
+std::optional<Path> flood_search(ProbeContext& ctx, const AdjacencyView& adj, VertexId u,
+                                 VertexId v, bool probe_target_first, Marks& parent,
+                                 std::vector<VertexId>& queue) {
   parent.emplace(u, u);
-  queue.push(u);
+  queue.clear();
+  queue.push_back(u);
+  std::size_t head = 0;
 
   const auto build_path = [&parent, u](VertexId target) {
     Path path;
@@ -24,24 +31,36 @@ std::optional<Path> FloodRouter::route(ProbeContext& ctx, VertexId u, VertexId v
     return path;
   };
 
-  while (!queue.empty()) {
-    const VertexId x = queue.front();
-    queue.pop();
-    const int deg = graph.degree(x);
+  while (head < queue.size()) {
+    const VertexId x = queue[head++];
+    const int deg = adj.degree(x);
     int target_index = -1;
-    if (probe_target_first_) target_index = edge_index_of(graph, x, v);
+    if (probe_target_first) target_index = adj.edge_index_of(x, v);
     for (int step = (target_index >= 0 ? -1 : 0); step < deg; ++step) {
       const int i = (step == -1) ? target_index : step;
       if (step != -1 && i == target_index && target_index >= 0) continue;  // done already
-      const VertexId y = graph.neighbor(x, i);
+      const VertexId y = adj.neighbor(x, i);
       if (parent.contains(y)) continue;
       if (!ctx.probe(x, i)) continue;
       parent.emplace(y, x);
       if (y == v) return build_path(v);
-      queue.push(y);
+      queue.push_back(y);
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Path> FloodRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  if (u == v) return Path{u};
+  const AdjacencyView adj(ctx.graph(), ctx.flat_adjacency());
+  if (ctx.flat_adjacency() != nullptr) {
+    dense_parent_.begin(ctx.graph().num_vertices());
+    return flood_search(ctx, adj, u, v, probe_target_first_, dense_parent_, queue_);
+  }
+  hash_parent_.begin(0);
+  return flood_search(ctx, adj, u, v, probe_target_first_, hash_parent_, queue_);
 }
 
 }  // namespace faultroute

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
 
@@ -11,11 +13,14 @@ namespace {
 
 /// Indices of v's incident edges sorted by the fault-free distance from the
 /// resulting neighbor to the target (ties broken by index for determinism).
-std::vector<int> edges_by_target_distance(const Topology& graph, VertexId x, VertexId v) {
-  const int deg = graph.degree(x);
+/// Neighbor scans go through the adjacency view (CSR row when a snapshot is
+/// up); the closed-form metric stays virtual.
+std::vector<int> edges_by_target_distance(const AdjacencyView& adj, VertexId x, VertexId v) {
+  const Topology& graph = adj.graph();
+  const int deg = adj.degree(x);
   std::vector<std::pair<std::uint64_t, int>> ranked;
   ranked.reserve(static_cast<std::size_t>(deg));
-  for (int i = 0; i < deg; ++i) ranked.emplace_back(graph.distance(graph.neighbor(x, i), v), i);
+  for (int i = 0; i < deg; ++i) ranked.emplace_back(graph.distance(adj.neighbor(x, i), v), i);
   std::sort(ranked.begin(), ranked.end());
   std::vector<int> order;
   order.reserve(ranked.size());
@@ -23,46 +28,26 @@ std::vector<int> edges_by_target_distance(const Topology& graph, VertexId x, Ver
   return order;
 }
 
-}  // namespace
-
-std::optional<Path> GreedyDescentRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
-  const Topology& graph = ctx.graph();
-  Path path{u};
-  VertexId x = u;
-  while (x != v) {
-    const std::uint64_t dx = graph.distance(x, v);
-    bool moved = false;
-    for (const int i : edges_by_target_distance(graph, x, v)) {
-      const VertexId y = graph.neighbor(x, i);
-      if (graph.distance(y, v) >= dx) break;  // improving edges exhausted
-      if (ctx.probe(x, i)) {
-        path.push_back(y);
-        x = y;
-        moved = true;
-        break;
-      }
-    }
-    if (!moved) return std::nullopt;  // stuck: pure greedy gives up
-  }
-  return path;
-}
-
-std::optional<Path> BestFirstRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
-  if (u == v) return Path{u};
-  const Topology& graph = ctx.graph();
+/// The best-first search loop, templated over the marks backend (dense
+/// vertex-indexed arrays on the flat adjacency path, hash maps on the
+/// implicit path; marks never affect expansion order).
+template <typename Marks>
+std::optional<Path> best_first_search(ProbeContext& ctx, const AdjacencyView& adj, VertexId u,
+                                      VertexId v, Marks& parent, Marks& expanded) {
+  const Topology& graph = adj.graph();
+  const std::uint64_t n = graph.num_vertices();
+  parent.begin(n);
+  expanded.begin(n);
   using Entry = std::pair<std::uint64_t, VertexId>;  // (distance-to-target, vertex)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
-  std::unordered_map<VertexId, VertexId> parent;
-  std::unordered_map<VertexId, bool> expanded;
   parent.emplace(u, u);
   frontier.emplace(graph.distance(u, v), u);
   while (!frontier.empty()) {
     const auto [dist, x] = frontier.top();
     frontier.pop();
-    if (expanded[x]) continue;
-    expanded[x] = true;
-    for (const int i : edges_by_target_distance(graph, x, v)) {
-      const VertexId y = graph.neighbor(x, i);
+    if (!expanded.emplace(x, x)) continue;  // already expanded
+    for (const int i : edges_by_target_distance(adj, x, v)) {
+      const VertexId y = adj.neighbor(x, i);
       if (parent.contains(y)) continue;
       if (!ctx.probe(x, i)) continue;
       parent.emplace(y, x);
@@ -79,6 +64,40 @@ std::optional<Path> BestFirstRouter::route(ProbeContext& ctx, VertexId u, Vertex
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Path> GreedyDescentRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  const Topology& graph = ctx.graph();
+  const AdjacencyView adj(graph, ctx.flat_adjacency());
+  Path path{u};
+  VertexId x = u;
+  while (x != v) {
+    const std::uint64_t dx = graph.distance(x, v);
+    bool moved = false;
+    for (const int i : edges_by_target_distance(adj, x, v)) {
+      const VertexId y = adj.neighbor(x, i);
+      if (graph.distance(y, v) >= dx) break;  // improving edges exhausted
+      if (ctx.probe(x, i)) {
+        path.push_back(y);
+        x = y;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) return std::nullopt;  // stuck: pure greedy gives up
+  }
+  return path;
+}
+
+std::optional<Path> BestFirstRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
+  if (u == v) return Path{u};
+  const AdjacencyView adj(ctx.graph(), ctx.flat_adjacency());
+  if (ctx.flat_adjacency() != nullptr) {
+    return best_first_search(ctx, adj, u, v, dense_parent_, dense_expanded_);
+  }
+  return best_first_search(ctx, adj, u, v, hash_parent_, hash_expanded_);
 }
 
 }  // namespace faultroute

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/router.hpp"
+#include "core/routers/router_marks.hpp"
 
 namespace faultroute {
 
@@ -27,6 +28,15 @@ class BestFirstRouter : public Router {
   std::optional<Path> route(ProbeContext& ctx, VertexId u, VertexId v) override;
 
   [[nodiscard]] std::string name() const override { return "best-first"; }
+
+ private:
+  // Search state pooled across a worker's messages (dense on the flat
+  // adjacency path, hash on the implicit path; bit-identical results — see
+  // core/routers/router_marks.hpp).
+  DenseMarks dense_parent_;
+  DenseMarks dense_expanded_;
+  HashMarks hash_parent_;
+  HashMarks hash_expanded_;
 };
 
 }  // namespace faultroute

@@ -1,15 +1,17 @@
 #include "core/routers/hybrid_router.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
 #include <vector>
+
+#include "core/routers/landmark_walk.hpp"
+#include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
 
 std::optional<Path> HybridGreedyRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
   if (u == v) return Path{u};
   const Topology& graph = ctx.graph();
+  const AdjacencyView adj(graph, ctx.flat_adjacency());
 
   // Phase 1: pure greedy descent while it keeps making progress.
   Path walk{u};
@@ -18,16 +20,16 @@ std::optional<Path> HybridGreedyRouter::route(ProbeContext& ctx, VertexId u, Ver
     const std::uint64_t dx = graph.distance(x, v);
     // Probe improving edges in order of resulting distance.
     std::vector<std::pair<std::uint64_t, int>> improving;
-    const int deg = graph.degree(x);
+    const int deg = adj.degree(x);
     for (int i = 0; i < deg; ++i) {
-      const std::uint64_t dy = graph.distance(graph.neighbor(x, i), v);
+      const std::uint64_t dy = graph.distance(adj.neighbor(x, i), v);
       if (dy < dx) improving.emplace_back(dy, i);
     }
     std::sort(improving.begin(), improving.end());
     bool moved = false;
     for (const auto& [dy, i] : improving) {
       if (ctx.probe(x, i)) {
-        x = graph.neighbor(x, i);
+        x = adj.neighbor(x, i);
         walk.push_back(x);
         moved = true;
         break;
@@ -37,51 +39,14 @@ std::optional<Path> HybridGreedyRouter::route(ProbeContext& ctx, VertexId u, Ver
   }
   if (x == v) return walk;
 
-  // Phase 2: landmark/BFS repair from the stuck vertex. (Inlined rather
-  // than delegated so the two phases share one ProbeContext and the greedy
-  // prefix is reflected in the final path.)
-  const std::vector<VertexId> landmarks = graph.shortest_path(x, v);
-  if (landmarks.empty()) return std::nullopt;
-  std::unordered_map<VertexId, std::size_t> landmark_pos;
-  for (std::size_t j = 0; j < landmarks.size(); ++j) landmark_pos.emplace(landmarks[j], j);
-
-  std::size_t pos = 0;
-  while (pos + 1 < landmarks.size()) {
-    const VertexId start = landmarks[pos];
-    std::unordered_map<VertexId, VertexId> parent;
-    std::queue<VertexId> queue;
-    parent.emplace(start, start);
-    queue.push(start);
-    std::size_t found_pos = pos;
-    VertexId found = start;
-    while (!queue.empty() && found_pos == pos) {
-      const VertexId y = queue.front();
-      queue.pop();
-      const int deg = graph.degree(y);
-      for (int i = 0; i < deg; ++i) {
-        const VertexId z = graph.neighbor(y, i);
-        if (parent.contains(z)) continue;
-        if (!ctx.probe(y, i)) continue;
-        parent.emplace(z, y);
-        const auto it = landmark_pos.find(z);
-        if (it != landmark_pos.end() && it->second > pos) {
-          found = z;
-          found_pos = it->second;
-          break;
-        }
-        queue.push(z);
-      }
-    }
-    if (found_pos == pos) return std::nullopt;  // cluster exhausted: u !~ v
-    Path segment;
-    for (VertexId z = found;; z = parent.at(z)) {
-      segment.push_back(z);
-      if (z == start) break;
-    }
-    std::reverse(segment.begin(), segment.end());
-    walk.insert(walk.end(), segment.begin() + 1, segment.end());
-    pos = found_pos;
-  }
+  // Phase 2: landmark/BFS repair from the stuck vertex, via the shared
+  // landmark walk (core/routers/landmark_walk.hpp) so the two phases share
+  // one ProbeContext and the greedy prefix stays on the final path.
+  const bool repaired =
+      ctx.flat_adjacency() != nullptr
+          ? detail::landmark_walk(ctx, adj, x, v, walk, dense_pos_, dense_parent_, queue_)
+          : detail::landmark_walk(ctx, adj, x, v, walk, hash_pos_, hash_parent_, queue_);
+  if (!repaired) return std::nullopt;
   return simplify_walk(walk);
 }
 

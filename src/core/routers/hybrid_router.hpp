@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "core/router.hpp"
+#include "core/routers/router_marks.hpp"
 
 namespace faultroute {
 
@@ -20,6 +23,16 @@ class HybridGreedyRouter : public Router {
   std::optional<Path> route(ProbeContext& ctx, VertexId u, VertexId v) override;
 
   [[nodiscard]] std::string name() const override { return "hybrid-greedy"; }
+
+ private:
+  // Repair-phase search state, pooled across a worker's messages (dense on
+  // the flat adjacency path, hash on the implicit path; bit-identical
+  // results — see core/routers/router_marks.hpp).
+  DenseMarks dense_pos_;
+  DenseMarks dense_parent_;
+  HashMarks hash_pos_;
+  HashMarks hash_parent_;
+  std::vector<VertexId> queue_;
 };
 
 }  // namespace faultroute

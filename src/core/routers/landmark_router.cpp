@@ -1,67 +1,19 @@
 #include "core/routers/landmark_router.hpp"
 
-#include <algorithm>
-#include <queue>
-#include <unordered_map>
+#include "core/routers/landmark_walk.hpp"
 
 namespace faultroute {
 
 std::optional<Path> LandmarkRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
   if (u == v) return Path{u};
-  const Topology& graph = ctx.graph();
-  const std::vector<VertexId> landmarks = graph.shortest_path(u, v);
-  if (landmarks.empty()) return std::nullopt;  // disconnected base topology
-
-  // Position of each landmark along the base path (shortest-path vertices
-  // are distinct).
-  std::unordered_map<VertexId, std::size_t> landmark_pos;
-  landmark_pos.reserve(landmarks.size());
-  for (std::size_t j = 0; j < landmarks.size(); ++j) landmark_pos.emplace(landmarks[j], j);
-
-  Path full_path{u};
-  std::size_t pos = 0;
-  while (pos + 1 < landmarks.size()) {
-    // BFS over open probed edges from landmarks[pos] until a strictly later
-    // landmark appears.
-    const VertexId start = landmarks[pos];
-    std::unordered_map<VertexId, VertexId> parent;
-    std::queue<VertexId> queue;
-    parent.emplace(start, start);
-    queue.push(start);
-    VertexId found = start;
-    std::size_t found_pos = pos;
-    while (!queue.empty() && found_pos == pos) {
-      const VertexId x = queue.front();
-      queue.pop();
-      const int deg = graph.degree(x);
-      for (int i = 0; i < deg; ++i) {
-        const VertexId y = graph.neighbor(x, i);
-        if (parent.contains(y)) continue;
-        if (!ctx.probe(x, i)) continue;
-        parent.emplace(y, x);
-        const auto it = landmark_pos.find(y);
-        if (it != landmark_pos.end() && it->second > pos) {
-          found = y;
-          found_pos = it->second;
-          break;
-        }
-        queue.push(y);
-      }
-    }
-    if (found_pos == pos) return std::nullopt;  // exhausted u's open cluster
-
-    // Append the BFS segment start -> found (skipping `start`, already on
-    // the path).
-    Path segment;
-    for (VertexId x = found;; x = parent.at(x)) {
-      segment.push_back(x);
-      if (x == start) break;
-    }
-    std::reverse(segment.begin(), segment.end());
-    full_path.insert(full_path.end(), segment.begin() + 1, segment.end());
-    pos = found_pos;
-  }
-  return simplify_walk(full_path);
+  const AdjacencyView adj(ctx.graph(), ctx.flat_adjacency());
+  Path walk{u};
+  const bool reached =
+      ctx.flat_adjacency() != nullptr
+          ? detail::landmark_walk(ctx, adj, u, v, walk, dense_pos_, dense_parent_, queue_)
+          : detail::landmark_walk(ctx, adj, u, v, walk, hash_pos_, hash_parent_, queue_);
+  if (!reached) return std::nullopt;
+  return simplify_walk(walk);
 }
 
 }  // namespace faultroute

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <vector>
+
 #include "core/router.hpp"
+#include "core/routers/router_marks.hpp"
 
 namespace faultroute {
 
@@ -26,6 +29,18 @@ class LandmarkRouter : public Router {
   std::optional<Path> route(ProbeContext& ctx, VertexId u, VertexId v) override;
 
   [[nodiscard]] std::string name() const override { return "landmark"; }
+
+ private:
+  // Search state pooled across the messages a worker routes (dense marks on
+  // the flat adjacency path, hash marks on the implicit path; bit-identical
+  // results — see core/routers/router_marks.hpp). `pos` maps landmark
+  // vertex -> position along the fault-free shortest path; `parent` is the
+  // per-segment BFS tree.
+  DenseMarks dense_pos_;
+  DenseMarks dense_parent_;
+  HashMarks hash_pos_;
+  HashMarks hash_parent_;
+  std::vector<VertexId> queue_;
 };
 
 }  // namespace faultroute

@@ -83,6 +83,12 @@ class ChannelIndex {
     return num_edge_ids_;
   }
 
+  /// The raw prefix-sum offset table (size num_vertices() + 1), for snapshot
+  /// builders (graph/flat_adjacency.hpp) that want zero-indirection row
+  /// bounds without duplicating 8 bytes per vertex. The pointer is valid for
+  /// the index's lifetime.
+  [[nodiscard]] const std::uint64_t* offsets_data() const { return offsets_.data(); }
+
  private:
   void build_edge_ids() const;
 

@@ -1,0 +1,80 @@
+#include "graph/flat_adjacency.hpp"
+
+#include <stdexcept>
+
+namespace faultroute {
+
+FlatAdjacency::FlatAdjacency(const Topology& graph)
+    : graph_(&graph), offsets_(nullptr) {
+  const ChannelIndex& index = graph.channel_index();
+  offsets_ = index.offsets_data();
+  num_vertices_ = graph.num_vertices();
+
+  const std::uint32_t channels = index.num_channels();
+  neighbors_.resize(channels);
+  keys_.resize(channels);
+  edge_ids_.resize(channels);
+  // One pass in channel order: slot i of v lands at flat position
+  // channel_of(v, i) by construction. The edge-id table is the index's own
+  // (lazily built) channel -> undirected-edge-id map, copied so a hot-path
+  // lookup is one load with no call_once fence.
+  std::uint32_t channel = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    const int deg = graph.degree(v);
+    for (int i = 0; i < deg; ++i, ++channel) {
+      neighbors_[channel] = graph.neighbor(v, i);
+      keys_[channel] = graph.edge_key(v, i);
+      edge_ids_[channel] = index.edge_id_of(channel);
+    }
+  }
+  num_edge_ids_ = index.num_edge_ids();
+}
+
+AdjacencyMode parse_adjacency_mode(const std::string& name) {
+  if (name == "flat") return AdjacencyMode::kFlat;
+  if (name == "implicit") return AdjacencyMode::kImplicit;
+  if (name == "auto") return AdjacencyMode::kAuto;
+  throw std::invalid_argument("adjacency mode must be 'flat', 'implicit', or 'auto', got '" +
+                              name + "'");
+}
+
+std::string adjacency_mode_name(AdjacencyMode mode) {
+  switch (mode) {
+    case AdjacencyMode::kFlat:
+      return "flat";
+    case AdjacencyMode::kImplicit:
+      return "implicit";
+    case AdjacencyMode::kAuto:
+      return "auto";
+  }
+  return "auto";  // unreachable
+}
+
+const FlatAdjacency* resolve_adjacency(const Topology& graph, AdjacencyMode mode,
+                                       std::uint64_t auto_budget_vertices) {
+  switch (mode) {
+    case AdjacencyMode::kFlat:
+      return &graph.flat_adjacency();
+    case AdjacencyMode::kImplicit:
+      return nullptr;
+    case AdjacencyMode::kAuto:
+      return graph.num_vertices() <= auto_budget_vertices ? &graph.flat_adjacency() : nullptr;
+  }
+  return nullptr;  // unreachable
+}
+
+int AdjacencyView::edge_index_of(VertexId u, VertexId v) const {
+  if (flat_ != nullptr) return faultroute::edge_index_of(*flat_, u, v);
+  return faultroute::edge_index_of(*graph_, u, v);
+}
+
+int edge_index_of(const FlatAdjacency& flat, VertexId u, VertexId v) {
+  const std::uint64_t begin = flat.row_begin(u);
+  const std::uint64_t end = flat.row_end(u);
+  for (std::uint64_t pos = begin; pos < end; ++pos) {
+    if (flat.neighbor_at(pos) == v) return static_cast<int>(pos - begin);
+  }
+  return -1;
+}
+
+}  // namespace faultroute

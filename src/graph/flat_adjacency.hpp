@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/channel_index.hpp"
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+/// One-shot CSR (compressed-sparse-row) snapshot of a Topology's adjacency.
+///
+/// The implicit Topology interface is what lets a 2^n-vertex hypercube exist
+/// for free, but it charges three virtual calls (degree/neighbor/edge_key)
+/// plus a key recomputation for every adjacency query on the hot paths —
+/// probes, router BFS scans, path validation, percolation BFS. This snapshot
+/// materializes the answers once: vertex v's incident slots occupy the
+/// contiguous row [row_begin(v), row_end(v)) of three parallel arrays
+/// (neighbor, canonical edge key, dense undirected-edge id), laid out in
+/// ChannelIndex order — the flat position of slot i of v IS the directed
+/// channel id channel_of(v, i), so no separate channel array is stored.
+/// After the build, a probe or hop resolves with two array loads and zero
+/// virtual dispatch or key arithmetic.
+///
+/// The snapshot borrows the topology's ChannelIndex offset table (it must
+/// outlive the snapshot, which Topology::flat_adjacency() — the intended way
+/// to obtain one — guarantees by caching both on the topology). Memory cost:
+/// 20 bytes per directed channel on top of the index's 8 per vertex, which
+/// is why huge implicit topologies keep the virtual path: AdjacencyMode
+/// below selects per call site, and kAuto materializes only when
+/// num_vertices() fits a budget.
+///
+/// All methods are const, O(1), and thread-safe; every value is a pure
+/// function of the topology, equal slot-for-slot to the virtual interface
+/// (held by tests/test_flat_adjacency.cpp across every topology family).
+class FlatAdjacency {
+ public:
+  /// Builds the snapshot via graph.channel_index() (reusing its traversal
+  /// for offsets and edge ids). Prefer Topology::flat_adjacency(), which
+  /// builds lazily once and caches. `graph` must outlive the snapshot.
+  explicit FlatAdjacency(const Topology& graph);
+
+  [[nodiscard]] const Topology& graph() const { return *graph_; }
+  [[nodiscard]] std::uint64_t num_vertices() const { return num_vertices_; }
+  [[nodiscard]] std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(neighbors_.size());
+  }
+  [[nodiscard]] std::uint32_t num_edge_ids() const { return num_edge_ids_; }
+
+  /// Flat positions of v's incident-slot row; position p == channel id p.
+  [[nodiscard]] std::uint64_t row_begin(VertexId v) const { return offsets_[v]; }
+  [[nodiscard]] std::uint64_t row_end(VertexId v) const { return offsets_[v + 1]; }
+  [[nodiscard]] int degree(VertexId v) const {
+    return static_cast<int>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Slot accessors, value-identical to the Topology virtual interface.
+  [[nodiscard]] VertexId neighbor(VertexId v, int i) const {
+    return neighbors_[offsets_[v] + static_cast<std::uint64_t>(i)];
+  }
+  [[nodiscard]] EdgeKey edge_key(VertexId v, int i) const {
+    return keys_[offsets_[v] + static_cast<std::uint64_t>(i)];
+  }
+  /// Dense undirected-edge id of slot i of v, == ChannelIndex::edge_id_of of
+  /// the matching channel (the index the dense probe-state arrays use).
+  [[nodiscard]] std::uint32_t edge_id(VertexId v, int i) const {
+    return edge_ids_[offsets_[v] + static_cast<std::uint64_t>(i)];
+  }
+  /// Directed channel id of slot i of v, == ChannelIndex::channel_of(v, i).
+  [[nodiscard]] std::uint32_t channel_of(VertexId v, int i) const {
+    return static_cast<std::uint32_t>(offsets_[v] + static_cast<std::uint64_t>(i));
+  }
+
+  /// Row-position accessors for callers iterating [row_begin, row_end).
+  [[nodiscard]] VertexId neighbor_at(std::uint64_t pos) const { return neighbors_[pos]; }
+  [[nodiscard]] EdgeKey edge_key_at(std::uint64_t pos) const { return keys_[pos]; }
+  [[nodiscard]] std::uint32_t edge_id_at(std::uint64_t pos) const { return edge_ids_[pos]; }
+
+  /// Bytes owned by the snapshot arrays (excluding the borrowed offsets).
+  [[nodiscard]] std::uint64_t memory_bytes() const {
+    return neighbors_.size() * (sizeof(VertexId) + sizeof(EdgeKey) + sizeof(std::uint32_t));
+  }
+
+ private:
+  const Topology* graph_;
+  const std::uint64_t* offsets_;  // borrowed from the topology's ChannelIndex
+  std::uint64_t num_vertices_ = 0;
+  std::uint32_t num_edge_ids_ = 0;
+  std::vector<VertexId> neighbors_;       // per channel
+  std::vector<EdgeKey> keys_;             // per channel
+  std::vector<std::uint32_t> edge_ids_;   // per channel
+};
+
+/// Which adjacency backend a hot path resolves queries through. A pure A/B
+/// switch in the mould of TrafficConfig::dense_probe_state / --engine:
+/// every observable result is bit-identical across modes.
+enum class AdjacencyMode {
+  kFlat,      ///< always materialize (cached) — the fast path
+  kImplicit,  ///< always the virtual Topology interface — huge graphs
+  kAuto,      ///< flat iff num_vertices() fits the caller's budget
+};
+
+/// Default kAuto materialization budget: snapshot when the graph has at most
+/// this many vertices. At constant degree d the snapshot costs ~20·2d bytes
+/// per vertex, so 2^20 vertices tops out around a few hundred MB for the
+/// densest library families — past that, stay implicit unless asked.
+inline constexpr std::uint64_t kDefaultFlatBudgetVertices = 1ull << 20;
+
+/// Parses "flat" / "implicit" / "auto" (throws std::invalid_argument
+/// otherwise); the inverse of adjacency_mode_name.
+[[nodiscard]] AdjacencyMode parse_adjacency_mode(const std::string& name);
+[[nodiscard]] std::string adjacency_mode_name(AdjacencyMode mode);
+
+/// Resolves a mode against a topology: the cached snapshot for kFlat,
+/// nullptr (= use the virtual interface) for kImplicit, and for kAuto the
+/// snapshot iff num_vertices() <= auto_budget_vertices.
+[[nodiscard]] const FlatAdjacency* resolve_adjacency(
+    const Topology& graph, AdjacencyMode mode,
+    std::uint64_t auto_budget_vertices = kDefaultFlatBudgetVertices);
+
+/// A zero-cost switchable view over the two adjacency backends, for code
+/// (routers, validators) that must run on either: CSR loads when a snapshot
+/// is present, virtual dispatch otherwise. The branch predicate is fixed per
+/// view, so the per-query cost is one predicted branch.
+class AdjacencyView {
+ public:
+  AdjacencyView(const Topology& graph, const FlatAdjacency* flat)
+      : graph_(&graph), flat_(flat) {}
+
+  [[nodiscard]] const Topology& graph() const { return *graph_; }
+  [[nodiscard]] const FlatAdjacency* flat() const { return flat_; }
+
+  [[nodiscard]] int degree(VertexId v) const {
+    return flat_ != nullptr ? flat_->degree(v) : graph_->degree(v);
+  }
+  [[nodiscard]] VertexId neighbor(VertexId v, int i) const {
+    return flat_ != nullptr ? flat_->neighbor(v, i) : graph_->neighbor(v, i);
+  }
+  [[nodiscard]] EdgeKey edge_key(VertexId v, int i) const {
+    return flat_ != nullptr ? flat_->edge_key(v, i) : graph_->edge_key(v, i);
+  }
+
+  /// Lowest incident slot of u whose neighbor is v, or -1 (the
+  /// edge_index_of contract, without virtual dispatch when flat).
+  [[nodiscard]] int edge_index_of(VertexId u, VertexId v) const;
+
+ private:
+  const Topology* graph_;
+  const FlatAdjacency* flat_;
+};
+
+/// edge_index_of over a snapshot row (same contract as the Topology
+/// overload in graph/topology.hpp: lowest matching slot, -1 if absent).
+[[nodiscard]] int edge_index_of(const FlatAdjacency& flat, VertexId u, VertexId v);
+
+}  // namespace faultroute

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "graph/channel_index.hpp"
+#include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
 
@@ -16,6 +17,12 @@ const ChannelIndex& Topology::channel_index() const {
   std::call_once(channel_index_once_,
                  [this] { channel_index_ = std::make_unique<ChannelIndex>(*this); });
   return *channel_index_;
+}
+
+const FlatAdjacency& Topology::flat_adjacency() const {
+  std::call_once(flat_adjacency_once_,
+                 [this] { flat_adjacency_ = std::make_unique<FlatAdjacency>(*this); });
+  return *flat_adjacency_;
 }
 
 std::uint64_t Topology::distance(VertexId u, VertexId v) const {

@@ -9,6 +9,7 @@
 namespace faultroute {
 
 class ChannelIndex;
+class FlatAdjacency;
 
 /// Vertex identifier. Every topology numbers its vertices contiguously in
 /// [0, num_vertices()), so analyses may use vertex-indexed arrays.
@@ -99,9 +100,21 @@ class Topology {
   /// Thread-safe under const access, like the rest of the interface.
   [[nodiscard]] const ChannelIndex& channel_index() const;
 
+  /// The flat CSR adjacency snapshot of this topology (see
+  /// graph/flat_adjacency.hpp): per-channel neighbor / edge-key / edge-id
+  /// arrays over the channel index's offset table, so hot paths resolve
+  /// adjacency with array loads instead of virtual dispatch. Built lazily on
+  /// first use and cached — O(channels) once, O(1) thereafter. Costs ~20
+  /// bytes per directed channel; huge implicit topologies should not call
+  /// this (AdjacencyMode::kAuto budgets exactly that). Thread-safe under
+  /// const access.
+  [[nodiscard]] const FlatAdjacency& flat_adjacency() const;
+
  private:
   mutable std::once_flag channel_index_once_;
   mutable std::unique_ptr<ChannelIndex> channel_index_;
+  mutable std::once_flag flat_adjacency_once_;
+  mutable std::unique_ptr<FlatAdjacency> flat_adjacency_;
 };
 
 /// Finds the incident-edge index i such that neighbor(u, i) == v,

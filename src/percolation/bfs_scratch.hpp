@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/topology.hpp"
+
+namespace faultroute::detail {
+
+/// Per-thread epoch-stamped scratch for the flat percolation BFS routines
+/// (cluster_analysis, chemical_distance): vertex-indexed visited stamps and
+/// parents, plus reusable queue buffers. A slot is live only when its stamp
+/// equals the current epoch, so "clearing" between sweeps is one integer
+/// increment — repeated analyses (threshold bisection, chemical-distance
+/// sweeps, permutation prechecks) allocate nothing in steady state.
+/// Accessed via bfs_scratch()'s thread_local instance, which keeps the
+/// scenario runner's cell-parallel sweeps race-free.
+struct BfsScratch {
+  std::vector<std::uint32_t> stamp;
+  std::vector<VertexId> parent;  // valid iff stamp[v] == epoch
+  std::vector<VertexId> queue;
+  std::vector<std::pair<VertexId, std::uint64_t>> dist_queue;  // (vertex, distance)
+  std::uint32_t epoch = 0;
+
+  /// Sizes for `n` vertices (grow-only) and opens a fresh epoch; on the
+  /// (once per ~4 billion sweeps) wrap, stamps are zeroed so stale marks
+  /// can never read as live.
+  void begin(std::uint64_t n) {
+    if (stamp.size() < n) {
+      stamp.resize(n, 0);
+      parent.resize(n, 0);
+    }
+    if (epoch == std::numeric_limits<std::uint32_t>::max()) {
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      epoch = 0;
+    }
+    ++epoch;
+    queue.clear();
+    dist_queue.clear();
+  }
+
+  [[nodiscard]] bool seen(VertexId v) const { return stamp[v] == epoch; }
+  void mark(VertexId v) { stamp[v] = epoch; }
+  void mark(VertexId v, VertexId from) {
+    stamp[v] = epoch;
+    parent[v] = from;
+  }
+};
+
+inline BfsScratch& bfs_scratch() {
+  static thread_local BfsScratch scratch;
+  return scratch;
+}
+
+}  // namespace faultroute::detail

@@ -3,16 +3,62 @@
 #include <algorithm>
 #include <queue>
 #include <unordered_map>
+#include <utility>
+
+#include "percolation/bfs_scratch.hpp"
 
 namespace faultroute {
 
+namespace {
+
+ChemicalPathResult chemical_path_flat(const FlatAdjacency& flat, const EdgeSampler& sampler,
+                                      VertexId u, VertexId v, std::uint64_t max_vertices) {
+  ChemicalPathResult result;
+  detail::BfsScratch& scratch = detail::bfs_scratch();
+  scratch.begin(flat.num_vertices());
+  scratch.mark(u, u);
+  scratch.dist_queue.emplace_back(u, 0);
+  std::uint64_t discovered = 1;  // the hash backend's parent.size()
+  std::size_t head = 0;
+  while (head < scratch.dist_queue.size()) {
+    const auto [x, dx] = scratch.dist_queue[head++];
+    const std::uint64_t end = flat.row_end(x);
+    for (std::uint64_t pos = flat.row_begin(x); pos < end; ++pos) {
+      const VertexId y = flat.neighbor_at(pos);
+      if (scratch.seen(y)) continue;
+      if (!sampler.is_open_indexed(flat.edge_id_at(pos), flat.edge_key_at(pos))) continue;
+      scratch.mark(y, x);
+      ++discovered;
+      if (y == v) {
+        result.distance = dx + 1;
+        for (VertexId z = v;; z = scratch.parent[z]) {
+          result.path.push_back(z);
+          if (z == u) break;
+        }
+        std::reverse(result.path.begin(), result.path.end());
+        return result;
+      }
+      if (max_vertices != 0 && discovered >= max_vertices) return result;  // unknown
+      scratch.dist_queue.emplace_back(y, dx + 1);
+    }
+  }
+  result.distance = std::nullopt;  // exhausted the cluster: disconnected
+  return result;
+}
+
+}  // namespace
+
 ChemicalPathResult chemical_path(const Topology& graph, const EdgeSampler& sampler,
-                                 VertexId u, VertexId v, std::uint64_t max_vertices) {
+                                 VertexId u, VertexId v, std::uint64_t max_vertices,
+                                 AdjacencyMode mode) {
   ChemicalPathResult result;
   if (u == v) {
     result.distance = 0;
     result.path = {u};
     return result;
+  }
+  if (const FlatAdjacency* flat = resolve_adjacency(graph, mode)) {
+    return chemical_path_flat(*flat, sampler, u, v, max_vertices);
   }
   std::unordered_map<VertexId, VertexId> parent;
   std::queue<std::pair<VertexId, std::uint64_t>> queue;
@@ -46,8 +92,9 @@ ChemicalPathResult chemical_path(const Topology& graph, const EdgeSampler& sampl
 
 std::optional<std::uint64_t> chemical_distance(const Topology& graph,
                                                const EdgeSampler& sampler, VertexId u,
-                                               VertexId v, std::uint64_t max_vertices) {
-  return chemical_path(graph, sampler, u, v, max_vertices).distance;
+                                               VertexId v, std::uint64_t max_vertices,
+                                               AdjacencyMode mode) {
+  return chemical_path(graph, sampler, u, v, max_vertices, mode).distance;
 }
 
 }  // namespace faultroute

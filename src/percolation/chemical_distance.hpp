@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "graph/flat_adjacency.hpp"
 #include "graph/topology.hpp"
 #include "percolation/edge_sampler.hpp"
 
@@ -17,9 +18,14 @@ namespace faultroute {
 /// Lemma 8 of the paper (Antal-Pisztora) asserts that above criticality
 /// D(x, y) <= rho * d(x, y) up to exponentially unlikely exceptions; the
 /// chemical-distance experiments (E9, E10) measure exactly this ratio.
+///
+/// `mode` selects the adjacency backend (graph/flat_adjacency.hpp): the BFS
+/// runs over CSR rows with vertex-indexed epoch-stamped parent arrays when
+/// flat, over hash containers and the virtual interface when implicit (the
+/// only option for huge implicit graphs). Identical distances and paths.
 [[nodiscard]] std::optional<std::uint64_t> chemical_distance(
     const Topology& graph, const EdgeSampler& sampler, VertexId u, VertexId v,
-    std::uint64_t max_vertices = 0);
+    std::uint64_t max_vertices = 0, AdjacencyMode mode = AdjacencyMode::kAuto);
 
 /// As above, but also returns a shortest open path (empty if disconnected).
 struct ChemicalPathResult {
@@ -29,6 +35,7 @@ struct ChemicalPathResult {
 
 [[nodiscard]] ChemicalPathResult chemical_path(const Topology& graph,
                                                const EdgeSampler& sampler, VertexId u,
-                                               VertexId v, std::uint64_t max_vertices = 0);
+                                               VertexId v, std::uint64_t max_vertices = 0,
+                                               AdjacencyMode mode = AdjacencyMode::kAuto);
 
 }  // namespace faultroute

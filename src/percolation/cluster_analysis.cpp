@@ -4,14 +4,15 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "percolation/bfs_scratch.hpp"
+
 namespace faultroute {
 
 namespace {
 
-/// Applies `fn(v, i, neighbor)` to every open incident edge, visiting each
-/// undirected edge once (from the endpoint that owns the canonical key —
-/// we simply visit from the lower-id endpoint; for parallel edges both
-/// orientations carry distinct keys so this stays exact).
+/// Applies `fn(v, w)` to every open edge, visiting each undirected edge once
+/// (from its lower-id endpoint; parallel edges appear as separate slots of
+/// that endpoint, so they stay exact). Implicit-interface sweep.
 template <typename Fn>
 void for_each_open_edge(const Topology& graph, const EdgeSampler& sampler, Fn&& fn) {
   const std::uint64_t n = graph.num_vertices();
@@ -19,22 +20,96 @@ void for_each_open_edge(const Topology& graph, const EdgeSampler& sampler, Fn&& 
     const int deg = graph.degree(v);
     for (int i = 0; i < deg; ++i) {
       const VertexId w = graph.neighbor(v, i);
-      if (w < v) continue;  // visit each edge from its lower endpoint only
-      if (w == v) continue;
+      if (w <= v) continue;  // visit each edge from its lower endpoint only
       if (sampler.is_open(graph.edge_key(v, i))) fn(v, w);
     }
   }
 }
 
+/// The same sweep over CSR rows: two array loads per slot and an indexed
+/// sampler query, no virtual dispatch. Identical visit order and verdicts.
+template <typename Fn>
+void for_each_open_edge(const FlatAdjacency& flat, const EdgeSampler& sampler, Fn&& fn) {
+  const std::uint64_t n = flat.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t end = flat.row_end(v);
+    for (std::uint64_t pos = flat.row_begin(v); pos < end; ++pos) {
+      const VertexId w = flat.neighbor_at(pos);
+      if (w <= v) continue;
+      if (sampler.is_open_indexed(flat.edge_id_at(pos), flat.edge_key_at(pos))) fn(v, w);
+    }
+  }
+}
+
+std::vector<VertexId> open_cluster_of_flat(const FlatAdjacency& flat,
+                                           const EdgeSampler& sampler, VertexId source,
+                                           std::uint64_t max_vertices) {
+  // The BFS queue *is* the returned visit order (a vertex is enqueued
+  // exactly when first visited), so one vector with a head cursor replaces
+  // both the hash set and the node-based queue.
+  std::vector<VertexId> order;
+  detail::BfsScratch& scratch = detail::bfs_scratch();
+  scratch.begin(flat.num_vertices());
+  scratch.mark(source);
+  order.push_back(source);
+  std::size_t head = 0;
+  while (head < order.size()) {
+    if (max_vertices != 0 && order.size() >= max_vertices) break;
+    const VertexId x = order[head++];
+    const std::uint64_t end = flat.row_end(x);
+    for (std::uint64_t pos = flat.row_begin(x); pos < end; ++pos) {
+      const VertexId y = flat.neighbor_at(pos);
+      if (scratch.seen(y)) continue;
+      if (!sampler.is_open_indexed(flat.edge_id_at(pos), flat.edge_key_at(pos))) continue;
+      scratch.mark(y);
+      order.push_back(y);
+      if (max_vertices != 0 && order.size() >= max_vertices) return order;
+    }
+  }
+  return order;
+}
+
+std::optional<bool> open_connected_flat(const FlatAdjacency& flat, const EdgeSampler& sampler,
+                                        VertexId u, VertexId v,
+                                        std::uint64_t max_vertices) {
+  detail::BfsScratch& scratch = detail::bfs_scratch();
+  scratch.begin(flat.num_vertices());
+  scratch.mark(u);
+  scratch.queue.push_back(u);
+  std::uint64_t count = 1;
+  std::size_t head = 0;
+  while (head < scratch.queue.size()) {
+    const VertexId x = scratch.queue[head++];
+    const std::uint64_t end = flat.row_end(x);
+    for (std::uint64_t pos = flat.row_begin(x); pos < end; ++pos) {
+      const VertexId y = flat.neighbor_at(pos);
+      if (scratch.seen(y)) continue;
+      if (!sampler.is_open_indexed(flat.edge_id_at(pos), flat.edge_key_at(pos))) continue;
+      if (y == v) return true;
+      scratch.mark(y);
+      ++count;
+      if (max_vertices != 0 && count >= max_vertices) return std::nullopt;
+      scratch.queue.push_back(y);
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
-ClusterDecomposition::ClusterDecomposition(const Topology& graph, const EdgeSampler& sampler)
+ClusterDecomposition::ClusterDecomposition(const Topology& graph, const EdgeSampler& sampler,
+                                           AdjacencyMode mode)
     : dsu_(graph.num_vertices()), largest_root_(0) {
   summary_.num_vertices = graph.num_vertices();
-  for_each_open_edge(graph, sampler, [this](VertexId a, VertexId b) {
+  const auto accumulate = [this](VertexId a, VertexId b) {
     ++summary_.num_open_edges;
     dsu_.unite(a, b);
-  });
+  };
+  if (const FlatAdjacency* flat = resolve_adjacency(graph, mode)) {
+    for_each_open_edge(*flat, sampler, accumulate);
+  } else {
+    for_each_open_edge(graph, sampler, accumulate);
+  }
   summary_.num_components = dsu_.num_components();
   // Scan roots for the two largest clusters.
   for (VertexId v = 0; v < summary_.num_vertices; ++v) {
@@ -54,12 +129,17 @@ bool ClusterDecomposition::in_largest_cluster(VertexId v) {
   return dsu_.find(v) == largest_root_;
 }
 
-ComponentSummary analyze_components(const Topology& graph, const EdgeSampler& sampler) {
-  return ClusterDecomposition(graph, sampler).summary();
+ComponentSummary analyze_components(const Topology& graph, const EdgeSampler& sampler,
+                                    AdjacencyMode mode) {
+  return ClusterDecomposition(graph, sampler, mode).summary();
 }
 
 std::vector<VertexId> open_cluster_of(const Topology& graph, const EdgeSampler& sampler,
-                                      VertexId source, std::uint64_t max_vertices) {
+                                      VertexId source, std::uint64_t max_vertices,
+                                      AdjacencyMode mode) {
+  if (const FlatAdjacency* flat = resolve_adjacency(graph, mode)) {
+    return open_cluster_of_flat(*flat, sampler, source, max_vertices);
+  }
   std::vector<VertexId> visited_order;
   std::unordered_set<VertexId> visited;
   std::queue<VertexId> queue;
@@ -85,8 +165,12 @@ std::vector<VertexId> open_cluster_of(const Topology& graph, const EdgeSampler& 
 }
 
 std::optional<bool> open_connected(const Topology& graph, const EdgeSampler& sampler,
-                                   VertexId u, VertexId v, std::uint64_t max_vertices) {
+                                   VertexId u, VertexId v, std::uint64_t max_vertices,
+                                   AdjacencyMode mode) {
   if (u == v) return true;
+  if (const FlatAdjacency* flat = resolve_adjacency(graph, mode)) {
+    return open_connected_flat(*flat, sampler, u, v, max_vertices);
+  }
   std::unordered_set<VertexId> visited;
   std::queue<VertexId> queue;
   visited.insert(u);
@@ -110,10 +194,15 @@ std::optional<bool> open_connected(const Topology& graph, const EdgeSampler& sam
   return false;
 }
 
-ExplicitGraph materialize_open_subgraph(const Topology& graph, const EdgeSampler& sampler) {
+ExplicitGraph materialize_open_subgraph(const Topology& graph, const EdgeSampler& sampler,
+                                        AdjacencyMode mode) {
   ExplicitGraph::EdgeList edges;
-  for_each_open_edge(graph, sampler,
-                     [&edges](VertexId a, VertexId b) { edges.emplace_back(a, b); });
+  const auto collect = [&edges](VertexId a, VertexId b) { edges.emplace_back(a, b); };
+  if (const FlatAdjacency* flat = resolve_adjacency(graph, mode)) {
+    for_each_open_edge(*flat, sampler, collect);
+  } else {
+    for_each_open_edge(graph, sampler, collect);
+  }
   return ExplicitGraph(graph.num_vertices(), edges);
 }
 

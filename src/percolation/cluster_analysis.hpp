@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/explicit_graph.hpp"
+#include "graph/flat_adjacency.hpp"
 #include "graph/topology.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "percolation/union_find.hpp"
@@ -31,9 +32,15 @@ struct ComponentSummary {
 /// Full cluster decomposition: summary plus a union-find for same-cluster
 /// queries. Materialises every edge once — O(V + E) time, O(V) memory — so
 /// only use on graphs small enough to enumerate (<= ~10^8 edges).
+///
+/// `mode` selects the adjacency backend the edge sweep runs over (see
+/// graph/flat_adjacency.hpp): CSR rows with indexed sampler queries when
+/// flat, the virtual interface when implicit. Results are identical; the
+/// flat sweep is faster (bench/bench_adjacency.cpp).
 class ClusterDecomposition {
  public:
-  ClusterDecomposition(const Topology& graph, const EdgeSampler& sampler);
+  ClusterDecomposition(const Topology& graph, const EdgeSampler& sampler,
+                       AdjacencyMode mode = AdjacencyMode::kAuto);
 
   [[nodiscard]] const ComponentSummary& summary() const { return summary_; }
 
@@ -51,16 +58,21 @@ class ClusterDecomposition {
 
 /// Convenience: just the summary (no same-cluster queries needed).
 [[nodiscard]] ComponentSummary analyze_components(const Topology& graph,
-                                                  const EdgeSampler& sampler);
+                                                  const EdgeSampler& sampler,
+                                                  AdjacencyMode mode = AdjacencyMode::kAuto);
 
 /// BFS over open edges from `source`, stopping once `max_vertices` vertices
-/// have been reached (0 = unbounded). Hash-based: suitable for implicit
-/// graphs whose vertex count is huge. Returns the visited vertices in BFS
-/// order.
+/// have been reached (0 = unbounded). Returns the visited vertices in BFS
+/// order. Backend per `mode`: vertex-indexed epoch-stamped visited arrays
+/// over CSR rows when flat (zero steady-state allocation for the marks;
+/// repeated sweeps reuse per-thread scratch); hash containers over the
+/// implicit interface otherwise — the latter is what makes huge implicit
+/// graphs affordable, which is exactly what kAuto's budget preserves.
 [[nodiscard]] std::vector<VertexId> open_cluster_of(const Topology& graph,
                                                     const EdgeSampler& sampler,
                                                     VertexId source,
-                                                    std::uint64_t max_vertices = 0);
+                                                    std::uint64_t max_vertices = 0,
+                                                    AdjacencyMode mode = AdjacencyMode::kAuto);
 
 /// Ground-truth connectivity test used to condition experiments on {u ~ v}:
 /// BFS from u over open edges until v is found or the cluster is exhausted
@@ -68,11 +80,13 @@ class ClusterDecomposition {
 [[nodiscard]] std::optional<bool> open_connected(const Topology& graph,
                                                  const EdgeSampler& sampler, VertexId u,
                                                  VertexId v,
-                                                 std::uint64_t max_vertices = 0);
+                                                 std::uint64_t max_vertices = 0,
+                                                 AdjacencyMode mode = AdjacencyMode::kAuto);
 
 /// Materialises the percolated subgraph (all vertices, only open edges) as an
 /// ExplicitGraph. Small graphs only.
 [[nodiscard]] ExplicitGraph materialize_open_subgraph(const Topology& graph,
-                                                      const EdgeSampler& sampler);
+                                                      const EdgeSampler& sampler,
+                                                      AdjacencyMode mode = AdjacencyMode::kAuto);
 
 }  // namespace faultroute

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "percolation/cluster_analysis.hpp"
+#include "percolation/edge_sampler.hpp"
 #include "random/rng.hpp"
 
 namespace faultroute {
@@ -32,6 +34,12 @@ double estimate_threshold(const OrderParameter& order, double lo, double hi,
     }
   }
   return 0.5 * (lo + hi);
+}
+
+OrderParameter largest_cluster_order(const Topology& graph, AdjacencyMode mode) {
+  return [&graph, mode](double p, std::uint64_t seed) {
+    return analyze_components(graph, HashEdgeSampler(p, seed), mode).largest_fraction();
+  };
 }
 
 }  // namespace faultroute

@@ -3,6 +3,9 @@
 #include <cstdint>
 #include <functional>
 
+#include "graph/flat_adjacency.hpp"
+#include "graph/topology.hpp"
+
 namespace faultroute {
 
 /// Configuration for the critical-probability estimator.
@@ -30,5 +33,15 @@ using OrderParameter = std::function<double(double p, std::uint64_t seed)>;
 /// meshes, and the giant-component threshold p ~ 1/n of the hypercube.
 [[nodiscard]] double estimate_threshold(const OrderParameter& order, double lo, double hi,
                                         const ThresholdConfig& config = {});
+
+/// The standard order parameter for graph percolation: (p, seed) -> the
+/// largest-cluster fraction of `graph` percolated by HashEdgeSampler(p,
+/// seed). Every trial of a bisection re-sweeps all edges of the graph, so
+/// `mode` matters: the default kAuto runs the component sweep over the
+/// cached CSR snapshot (graph/flat_adjacency.hpp) whenever the graph fits,
+/// falling back to the implicit interface beyond the budget. The returned
+/// callable borrows `graph`, which must outlive it.
+[[nodiscard]] OrderParameter largest_cluster_order(const Topology& graph,
+                                                   AdjacencyMode mode = AdjacencyMode::kAuto);
 
 }  // namespace faultroute

@@ -98,6 +98,7 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
       if (spec.probe_budget > 0) config.probe_budget = spec.probe_budget;
       config.max_steps = spec.max_steps;
       config.threads = 1;  // parallelism is across cells, not within one
+      config.adjacency = parse_adjacency_mode(spec.adjacency);
       const HashEdgeSampler environment(cell.p, cell.env_seed);
       const auto factory = [&]() { return sim::make_router(cell.router, topology); };
       const TrafficResult traffic =

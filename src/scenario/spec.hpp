@@ -28,6 +28,7 @@ namespace faultroute::scenario {
 ///   capacity  = 1                        # edge capacity, msgs/step (>= 1)
 ///   budget    = 0                        # probe budget per message (0 = off)
 ///   max_steps = 0                        # delivery-step safety cap (0 = off)
+///   adjacency = auto                     # flat | implicit | auto (CSR snapshot A/B)
 struct ScenarioSpec {
   std::string name = "scenario";
   std::vector<std::string> topologies;
@@ -41,6 +42,10 @@ struct ScenarioSpec {
   std::uint64_t edge_capacity = 1;
   std::uint64_t probe_budget = 0;  // 0 = unbounded
   std::uint64_t max_steps = 0;     // 0 = unbounded
+  /// Adjacency backend of every cell's routing phase ("flat", "implicit",
+  /// or "auto" — see graph/flat_adjacency.hpp). Results are bit-identical
+  /// across backends; this key exists for A/B timing and differential runs.
+  std::string adjacency = "auto";
 
   /// Cells of the cross-product (topologies × p × routers × workloads ×
   /// trials). Cells are indexed row-major in that key order, trials fastest;

@@ -19,7 +19,8 @@ namespace {
 void route_all(const Topology& graph, const EdgeSampler& env,
                const RouterFactory& make_router,
                const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
-               std::vector<MessageOutcome>& outcomes, std::vector<Path>& paths) {
+               const FlatAdjacency* flat, std::vector<MessageOutcome>& outcomes,
+               std::vector<Path>& paths) {
   parallel_index_loop(messages.size(), config.threads, [&] {
     const std::shared_ptr<Router> router = make_router();
     const std::shared_ptr<ProbeArena> arena =
@@ -34,7 +35,7 @@ void route_all(const Topology& graph, const EdgeSampler& env,
         return;
       }
       ProbeContext ctx(graph, env, msg.source, router->required_mode(),
-                       config.probe_budget, arena.get());
+                       config.probe_budget, arena.get(), flat);
       std::optional<Path> path;
       try {
         path = router->route(ctx, msg.source, msg.target);
@@ -61,6 +62,13 @@ std::vector<RoutedJourney> route_and_validate(
     TrafficResult& result) {
   std::vector<Path> paths(messages.size());
 
+  // One adjacency resolution for the whole batch: every probe, validation
+  // scan, and slot resolution below goes through the same backend, so the
+  // --adjacency A/B switch compares whole routing phases.
+  const FlatAdjacency* flat =
+      resolve_adjacency(graph, config.adjacency, config.flat_budget_vertices);
+  const AdjacencyView adj(graph, flat);
+
   // Each probe-state backend pairs with its matching cache generation so
   // the dense_probe_state A/B switch compares whole engines, dense against
   // the sharded-map implementation it replaced. unique_edges() is the same
@@ -75,7 +83,7 @@ std::vector<RoutedJourney> route_and_validate(
       env = &sharded_cache.emplace(sampler);
     }
   }
-  route_all(graph, *env, make_router, messages, config, result.outcomes, paths);
+  route_all(graph, *env, make_router, messages, config, flat, result.outcomes, paths);
   if (dense_cache) result.unique_edges_probed = dense_cache->unique_edges();
   if (sharded_cache) result.unique_edges_probed = sharded_cache->unique_edges();
 
@@ -96,7 +104,7 @@ std::vector<RoutedJourney> route_and_validate(
     // routed + failed + censored + invalid == messages holds.
     Path& path = paths[i];
     if (config.verify_paths &&
-        !is_valid_open_path(graph, sampler, path, out.message.source, out.message.target)) {
+        !is_valid_open_path(adj, sampler, path, out.message.source, out.message.target)) {
       ++result.invalid_paths;
       out.routed = false;
       out.path_edges = 0;  // the rejected path's hop count must not leak out
@@ -106,7 +114,7 @@ std::vector<RoutedJourney> route_and_validate(
     journey.slots.reserve(path.size() > 0 ? path.size() - 1 : 0);
     bool ok = true;
     for (std::size_t step = 0; step + 1 < path.size(); ++step) {
-      const int idx = edge_index_of(graph, path[step], path[step + 1]);
+      const int idx = adj.edge_index_of(path[step], path[step + 1]);
       if (idx < 0) {  // unreachable when verify_paths is on; defensive otherwise
         ok = false;
         break;

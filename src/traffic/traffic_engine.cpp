@@ -62,6 +62,9 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   hop_channel.reserve(total_hops);
   std::vector<std::uint64_t> hop_cursor(messages.size(), 0);
   std::vector<std::uint64_t> hop_end(messages.size(), 0);
+  // channel_of is pure offset arithmetic over the same prefix-sum table the
+  // flat snapshot borrows, so compiling against the index is already
+  // compiling against the snapshot — no adjacency-mode branch needed here.
   for (std::size_t i = 0; i < messages.size(); ++i) {
     hop_cursor[i] = hop_channel.size();
     const auto& journey = journeys[i];

@@ -8,6 +8,7 @@
 #include "core/experiment.hpp"  // RouterFactory
 #include "core/path.hpp"
 #include "core/router.hpp"
+#include "graph/flat_adjacency.hpp"
 #include "graph/topology.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "traffic/message.hpp"
@@ -45,6 +46,18 @@ struct TrafficConfig {
   /// (held by tests/test_dense_probe_state.cpp); dense is several times
   /// faster (bench/bench_routing.cpp), so leave it on.
   bool dense_probe_state = true;
+  /// Adjacency backend for routing, validation, and journey compilation:
+  /// kFlat resolves every neighbor / edge-key / edge-id query through the
+  /// topology's CSR snapshot (Topology::flat_adjacency()), kImplicit through
+  /// the virtual interface, kAuto picks flat iff num_vertices() fits
+  /// `flat_budget_vertices`. A pure A/B switch exactly like
+  /// `dense_probe_state`: outcomes and counters are bit-identical across
+  /// modes (tests/test_flat_adjacency.cpp); flat is faster
+  /// (bench/bench_adjacency.cpp), so leave it on auto.
+  AdjacencyMode adjacency = AdjacencyMode::kAuto;
+  /// kAuto's materialization budget: snapshot topologies with at most this
+  /// many vertices (~20 bytes per directed channel once, cached).
+  std::uint64_t flat_budget_vertices = kDefaultFlatBudgetVertices;
   /// Verify every returned path against the environment; invalid paths are
   /// counted and the message dropped from the delivery simulation.
   bool verify_paths = true;

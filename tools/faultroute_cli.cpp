@@ -37,6 +37,7 @@
 #include "core/permutation_routing.hpp"
 #include "core/probe_context.hpp"
 #include "graph/double_tree.hpp"
+#include "graph/flat_adjacency.hpp"
 #include "graph/mesh.hpp"
 #include "percolation/cluster_analysis.hpp"
 #include "percolation/edge_sampler.hpp"
@@ -96,6 +97,13 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Shared --adjacency flag: CSR-snapshot vs implicit-virtual adjacency
+/// backend (graph/flat_adjacency.hpp). Results are identical; the flag is
+/// the A/B switch in the mould of --engine / --probe-state.
+AdjacencyMode adjacency_of(const Args& args) {
+  return parse_adjacency_mode(args.get("adjacency", "auto"));
+}
+
 /// Default endpoints: the double tree routes root-to-root; everything else
 /// routes corner-to-"antipode".
 void default_pair(const Topology& graph, VertexId& u, VertexId& v) {
@@ -154,7 +162,8 @@ int cmd_components(const Args& args) {
   const auto graph = sim::make_topology(args.require("topology"));
   const double p = args.get_double("p", 0.5);
   const std::uint64_t seed = args.get_u64("seed", 2005);
-  const auto summary = analyze_components(*graph, HashEdgeSampler(p, seed));
+  const auto summary =
+      analyze_components(*graph, HashEdgeSampler(p, seed), adjacency_of(args));
   Table table({"metric", "value"});
   table.add_row({"vertices", Table::fmt(summary.num_vertices)});
   table.add_row({"open edges", Table::fmt(summary.num_open_edges)});
@@ -173,9 +182,7 @@ int cmd_threshold(const Args& args) {
   config.trials_per_point = static_cast<int>(args.get_u64("trials", 6));
   config.tolerance = args.get_double("tolerance", 0.005);
   config.seed = args.get_u64("seed", 2005);
-  const auto order = [&graph](double p, std::uint64_t seed) {
-    return analyze_components(*graph, HashEdgeSampler(p, seed)).largest_fraction();
-  };
+  const auto order = largest_cluster_order(*graph, adjacency_of(args));
   const double pc = estimate_threshold(order, args.get_double("lo", 0.02),
                                        args.get_double("hi", 0.98), config);
   std::cout << graph->name() << ": giant-component threshold ~ " << pc
@@ -227,6 +234,7 @@ int cmd_permutation(const Args& args) {
   config.pairs = args.get_u64("pairs", 64);
   config.pair_seed = args.get_u64("pair-seed", 1);
   if (args.get_u64("budget", 0) > 0) config.probe_budget = args.get_u64("budget", 0);
+  config.adjacency = adjacency_of(args);
 
   const HashEdgeSampler env(p, seed);
   const auto factory = [&]() { return sim::make_router(router_name, *graph); };
@@ -289,6 +297,10 @@ int cmd_traffic(const Args& args) {
   }
   config.dense_probe_state = probe_state == "dense";
 
+  // --adjacency flat|implicit|auto: CSR-snapshot vs virtual adjacency for
+  // the routing phase — the third A/B axis next to --engine/--probe-state.
+  config.adjacency = adjacency_of(args);
+
   const HashEdgeSampler env(p, seed);
   const auto messages = generate_workload(*graph, workload);
   const auto factory = [&]() { return sim::make_router(router_name, *graph); };
@@ -298,7 +310,8 @@ int cmd_traffic(const Args& args) {
 
   traffic_table(result).print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" +
                               router_name + "  workload=" + workload_name(workload.kind) +
-                              "  engine=" + engine);
+                              "  engine=" + engine + "  adjacency=" +
+                              adjacency_mode_name(config.adjacency));
   return 0;
 }
 
@@ -367,6 +380,8 @@ void print_usage() {
             << "                   --rate R --shared-cache true|false\n"
             << "                   --engine event|reference (delivery engine A/B)\n"
             << "                   --probe-state dense|hash (routing backend A/B)\n"
+            << "                   --adjacency flat|implicit|auto (CSR snapshot A/B;\n"
+            << "                     also on components/threshold/permutation)\n"
             << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
             << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
             << "\nfull reference: docs/CLI.md; scenario grammar: docs/SCENARIOS.md\n";
