@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "obs/build_info.hpp"
 #include "graph/flat_adjacency.hpp"
 #include "percolation/chemical_distance.hpp"
 #include "percolation/cluster_analysis.hpp"
@@ -343,6 +344,7 @@ std::string json_report(const std::vector<BenchResult>& results, const BenchOpti
   out.precision(6);
   out << std::fixed;
   out << "{\"schema\":\"faultroute.bench.adjacency.v1\",\"schema_version\":1"
+      << ",\"provenance\":" << obs::provenance_json("bench_adjacency")
       << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"benchmarks\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "obs/build_info.hpp"
 #include "core/routers/greedy_router.hpp"
 #include "random/rng.hpp"
 #include "sim/registry.hpp"
@@ -203,6 +204,7 @@ std::string json_report(const std::vector<BenchResult>& results, const BenchOpti
   out.precision(6);
   out << std::fixed;
   out << "{\"schema\":\"faultroute.bench.delivery.v1\",\"schema_version\":1"
+      << ",\"provenance\":" << obs::provenance_json("bench_delivery")
       << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"seed\":" << options.seed
       << ",\"benchmarks\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {

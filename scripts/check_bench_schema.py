@@ -3,17 +3,19 @@
 
 Usage: check_bench_schema.py REPORT.json
 
-Understands every schema the bench suite emits — the report's "schema"
-field selects the rule set:
+Understands every schema the bench suite and the CLI emit — the report's
+"schema" field selects the rule set:
 
   * faultroute.bench.delivery.v1  (bench_delivery: event vs reference engine)
   * faultroute.bench.routing.v1   (bench_routing: dense vs hash probe state)
   * faultroute.bench.adjacency.v1 (bench_adjacency: flat CSR vs implicit)
+  * faultroute.metrics.v1         (any subcommand's --metrics report)
 
 Run by CI after `bench_delivery --quick --json` / `bench_routing --quick
 --json` so the machine-readable perf trajectories (BENCH_traffic.json,
 BENCH_routing.json and the per-PR CI artifacts) stay parseable and
-complete. Exits non-zero with a message on the first violation.
+complete, and after `faultroute ... --metrics` in the observability job.
+Exits non-zero with a message on the first violation.
 """
 
 import json
@@ -22,7 +24,18 @@ import sys
 DELIVERY_SCHEMA = "faultroute.bench.delivery.v1"
 ROUTING_SCHEMA = "faultroute.bench.routing.v1"
 ADJACENCY_SCHEMA = "faultroute.bench.adjacency.v1"
+METRICS_SCHEMA = "faultroute.metrics.v1"
 SCHEMA_VERSION = 1
+
+# Build provenance (git hash / compiler / build type). Mandatory in
+# faultroute.metrics.v1; optional-if-present in the bench schemas so records
+# committed before the provenance stamp still validate.
+PROVENANCE_FIELDS = {
+    "git_hash": str,
+    "compiler": str,
+    "build_type": str,
+    "generated_by": str,
+}
 
 DELIVERY_TOP_LEVEL = {
     "schema": str,
@@ -97,6 +110,43 @@ ADJACENCY_BENCHMARK_FIELDS = {
 
 ADJACENCY_KINDS = {"traffic", "percolation"}
 
+METRICS_TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "command": str,
+    "provenance": dict,
+    "counters": dict,
+    "phases": list,
+    "tracks": list,
+}
+
+METRICS_PHASE_FIELDS = {
+    "path": str,
+    "count": int,
+    "total_ms": (int, float),
+}
+
+METRICS_TRACK_FIELDS = {
+    "id": int,
+    "name": str,
+}
+
+METRICS_SAMPLES_FIELDS = {
+    "stride": int,
+    "steps_seen": int,
+    "max_samples": int,
+    "samples": list,
+}
+
+METRICS_SAMPLE_FIELDS = {
+    "t": int,
+    "step": int,
+    "active_channels": int,
+    "queued": int,
+    "in_transit": int,
+    "injections": int,
+}
+
 
 def fail(message: str) -> None:
     print(f"check_bench_schema: FAIL: {message}", file=sys.stderr)
@@ -115,10 +165,25 @@ def check_fields(obj: dict, fields: dict, where: str) -> None:
             fail(f"{where}: field '{key}' has type {type(value).__name__}")
 
 
+def check_provenance(report: dict, required: bool) -> None:
+    if "provenance" not in report:
+        if required:
+            fail("top level: missing field 'provenance'")
+        return
+    prov = report["provenance"]
+    if not isinstance(prov, dict):
+        fail("provenance: not an object")
+    check_fields(prov, PROVENANCE_FIELDS, "provenance")
+    for key in PROVENANCE_FIELDS:
+        if not prov[key]:
+            fail(f"provenance: field '{key}' is empty")
+
+
 def check_common_top_level(report: dict, top_level: dict) -> None:
     check_fields(report, top_level, "top level")
     if report["schema_version"] != SCHEMA_VERSION:
         fail(f"schema_version is {report['schema_version']}, expected {SCHEMA_VERSION}")
+    check_provenance(report, required=False)
     if not report["benchmarks"]:
         fail("benchmarks list is empty")
     for i, bench in enumerate(report["benchmarks"]):
@@ -174,10 +239,78 @@ def check_adjacency(report: dict) -> None:
             fail(f"{where}: no cells executed")
 
 
+def check_metrics(report: dict) -> None:
+    check_fields(report, METRICS_TOP_LEVEL, "top level")
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail(f"schema_version is {report['schema_version']}, expected {SCHEMA_VERSION}")
+    if not report["command"]:
+        fail("command is empty")
+    check_provenance(report, required=True)
+
+    for name, value in report["counters"].items():
+        if not name:
+            fail("counters: empty counter name")
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            fail(f"counters['{name}']: expected a non-negative integer, got {value!r}")
+
+    for i, phase in enumerate(report["phases"]):
+        where = f"phases[{i}]"
+        if not isinstance(phase, dict):
+            fail(f"{where}: not an object")
+        check_fields(phase, METRICS_PHASE_FIELDS, where)
+        if phase["count"] <= 0:
+            fail(f"{where} ('{phase['path']}'): count must be positive")
+        if phase["total_ms"] < 0:
+            fail(f"{where} ('{phase['path']}'): negative duration")
+
+    track_ids = set()
+    for i, track in enumerate(report["tracks"]):
+        where = f"tracks[{i}]"
+        if not isinstance(track, dict):
+            fail(f"{where}: not an object")
+        check_fields(track, METRICS_TRACK_FIELDS, where)
+        if track["id"] < 0:
+            fail(f"{where}: negative track id")
+        if track["id"] in track_ids:
+            fail(f"{where}: duplicate track id {track['id']}")
+        track_ids.add(track["id"])
+
+    if "delivery_samples" in report:
+        series = report["delivery_samples"]
+        if not isinstance(series, dict):
+            fail("delivery_samples: not an object")
+        check_fields(series, METRICS_SAMPLES_FIELDS, "delivery_samples")
+        stride = series["stride"]
+        if stride < 1 or stride & (stride - 1) != 0:
+            fail(f"delivery_samples: stride {stride} is not a power of two")
+        if len(series["samples"]) > series["max_samples"]:
+            fail("delivery_samples: more samples than max_samples")
+        for i, sample in enumerate(series["samples"]):
+            where = f"delivery_samples.samples[{i}]"
+            if not isinstance(sample, dict):
+                fail(f"{where}: not an object")
+            check_fields(sample, METRICS_SAMPLE_FIELDS, where)
+
+
+def summarize_bench(report: dict) -> str:
+    names = [bench["name"] for bench in report["benchmarks"]]
+    return f"{len(names)} benchmarks ({', '.join(names)}), quick={report['quick']}"
+
+
+def summarize_metrics(report: dict) -> str:
+    series = report.get("delivery_samples")
+    samples = f", {len(series['samples'])} delivery samples" if series else ""
+    return (
+        f"command={report['command']}, {len(report['counters'])} counters, "
+        f"{len(report['phases'])} phases, {len(report['tracks'])} tracks{samples}"
+    )
+
+
 CHECKERS = {
-    DELIVERY_SCHEMA: check_delivery,
-    ROUTING_SCHEMA: check_routing,
-    ADJACENCY_SCHEMA: check_adjacency,
+    DELIVERY_SCHEMA: (check_delivery, summarize_bench),
+    ROUTING_SCHEMA: (check_routing, summarize_bench),
+    ADJACENCY_SCHEMA: (check_adjacency, summarize_bench),
+    METRICS_SCHEMA: (check_metrics, summarize_metrics),
 }
 
 
@@ -192,16 +325,12 @@ def main() -> None:
 
     if not isinstance(report, dict) or "schema" not in report:
         fail("report is not an object with a 'schema' field")
-    checker = CHECKERS.get(report["schema"])
-    if checker is None:
+    entry = CHECKERS.get(report["schema"])
+    if entry is None:
         fail(f"schema is '{report['schema']}', expected one of {sorted(CHECKERS)}")
+    checker, summarize = entry
     checker(report)
-
-    names = [bench["name"] for bench in report["benchmarks"]]
-    print(
-        f"check_bench_schema: OK [{report['schema']}]: {len(names)} benchmarks "
-        f"({', '.join(names)}), quick={report['quick']}"
-    )
+    print(f"check_bench_schema: OK [{report['schema']}]: {summarize(report)}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validates a --trace Chrome trace-event JSON file.
+
+Usage: check_trace.py TRACE.json
+
+Checks the structural contract that chrome://tracing and Perfetto rely on:
+a top-level object with a "traceEvents" list containing at least one
+complete ("X") event with name/ts/dur/pid/tid, and at least one
+"thread_name" metadata ("M") event so worker lanes are labelled. Durations
+and timestamps must be non-negative, and every "X" event's tid must have a
+thread_name metadata event (one lane label per track).
+
+Run by CI's observability job on the output of
+`faultroute ... --trace t.json`. Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py TRACE.json")
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {sys.argv[1]}: {error}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail("trace is not an object with a 'traceEvents' field")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not a list")
+
+    named_tracks = {}
+    spans = 0
+    span_tracks = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") != "thread_name":
+                continue
+            name = event.get("args", {}).get("name")
+            if not isinstance(name, str) or not name:
+                fail(f"{where}: thread_name metadata without a name")
+            if "tid" not in event:
+                fail(f"{where}: thread_name metadata without a tid")
+            named_tracks[event["tid"]] = name
+        elif phase == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in event:
+                    fail(f"{where}: complete event missing '{key}'")
+            if not isinstance(event["name"], str) or not event["name"]:
+                fail(f"{where}: complete event with an empty name")
+            if event["ts"] < 0 or event["dur"] < 0:
+                fail(f"{where} ('{event['name']}'): negative ts or dur")
+            spans += 1
+            span_tracks.add(event["tid"])
+        else:
+            fail(f"{where}: unexpected event phase {phase!r}")
+
+    if spans == 0:
+        fail("no complete ('X') events")
+    if not named_tracks:
+        fail("no thread_name metadata ('M') events")
+    unlabelled = span_tracks - set(named_tracks)
+    if unlabelled:
+        fail(f"spans on unlabelled tracks: {sorted(unlabelled)}")
+
+    print(
+        f"check_trace: OK: {spans} spans on {len(span_tracks)} of "
+        f"{len(named_tracks)} named tracks "
+        f"({', '.join(named_tracks[t] for t in sorted(named_tracks))})"
+    )
+
+
+if __name__ == "__main__":
+    main()

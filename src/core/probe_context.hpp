@@ -141,6 +141,12 @@ class ProbeContext {
   /// Total probe calls, counting repeats.
   [[nodiscard]] std::uint64_t total_probes() const { return total_probes_; }
 
+  /// Search-frontier expansions (vertex pops) the router reported via
+  /// note_expansion() — a measure of BFS work orthogonal to probe counts.
+  /// Purely observational: never affects probe answers or enforcement.
+  [[nodiscard]] std::uint64_t expansions() const { return expansions_; }
+  void note_expansion() { ++expansions_; }
+
   /// True iff the router has established an open path from the source to v
   /// through probed edges (always true for the source itself). Only
   /// maintained in kLocal mode.
@@ -166,6 +172,7 @@ class ProbeContext {
   std::optional<std::uint64_t> budget_;
   std::uint64_t total_probes_ = 0;
   std::uint64_t distinct_probes_ = 0;
+  std::uint64_t expansions_ = 0;
 
   // Dense backend (arena_ != nullptr): pooled arrays + the channel index.
   ProbeArena* arena_ = nullptr;

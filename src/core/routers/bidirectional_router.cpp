@@ -60,6 +60,7 @@ std::optional<Path> bidirectional_search(ProbeContext& ctx, const AdjacencyView&
     Side<Marks>& mine = expand_u ? from_u : from_v;
     Side<Marks>& other = expand_u ? from_v : from_u;
     const VertexId x = (*mine.frontier)[mine.head++];
+    ctx.note_expansion();
     const int deg = adj.degree(x);
     for (int i = 0; i < deg; ++i) {
       const VertexId y = adj.neighbor(x, i);

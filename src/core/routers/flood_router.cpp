@@ -33,6 +33,7 @@ std::optional<Path> flood_search(ProbeContext& ctx, const AdjacencyView& adj, Ve
 
   while (head < queue.size()) {
     const VertexId x = queue[head++];
+    ctx.note_expansion();
     const int deg = adj.degree(x);
     int target_index = -1;
     if (probe_target_first) target_index = adj.edge_index_of(x, v);

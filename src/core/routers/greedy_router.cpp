@@ -46,6 +46,7 @@ std::optional<Path> best_first_search(ProbeContext& ctx, const AdjacencyView& ad
     const auto [dist, x] = frontier.top();
     frontier.pop();
     if (!expanded.emplace(x, x)) continue;  // already expanded
+    ctx.note_expansion();
     for (const int i : edges_by_target_distance(adj, x, v)) {
       const VertexId y = adj.neighbor(x, i);
       if (parent.contains(y)) continue;
@@ -74,6 +75,7 @@ std::optional<Path> GreedyDescentRouter::route(ProbeContext& ctx, VertexId u, Ve
   Path path{u};
   VertexId x = u;
   while (x != v) {
+    ctx.note_expansion();  // each visited vertex is this router's "frontier pop"
     const std::uint64_t dx = graph.distance(x, v);
     bool moved = false;
     for (const int i : edges_by_target_distance(adj, x, v)) {

@@ -54,6 +54,7 @@ bool landmark_walk(ProbeContext& ctx, const AdjacencyView& adj, VertexId from, V
     std::size_t found_pos = pos;
     while (head < queue.size() && found_pos == pos) {
       const VertexId x = queue[head++];
+      ctx.note_expansion();
       const int deg = adj.degree(x);
       for (int i = 0; i < deg; ++i) {
         const VertexId y = adj.neighbor(x, i);

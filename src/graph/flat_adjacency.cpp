@@ -2,10 +2,17 @@
 
 #include <stdexcept>
 
+#include "obs/counter_registry.hpp"
+
 namespace faultroute {
 
 FlatAdjacency::FlatAdjacency(const Topology& graph)
     : graph_(&graph), offsets_(nullptr) {
+  // Global counter (not per-run): snapshots are often materialized by
+  // library callers with no RunMetrics in scope, and a surprise count here
+  // is exactly what --metrics should surface (e.g. an accidental rebuild
+  // per cell instead of one per topology).
+  obs::global_count("graph.flat_adjacency.materializations");
   const ChannelIndex& index = graph.channel_index();
   offsets_ = index.offsets_data();
   num_vertices_ = graph.num_vertices();

@@ -1,0 +1,29 @@
+#include "obs/build_info.hpp"
+
+#include "obs/version.hpp"  // generated into ${CMAKE_BINARY_DIR}/generated
+
+namespace faultroute::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{FAULTROUTE_GIT_HASH, FAULTROUTE_COMPILER,
+                              FAULTROUTE_BUILD_TYPE};
+  return info;
+}
+
+std::string provenance_json(std::string_view generator) {
+  // Provenance fields are hashes / identifiers with no characters needing
+  // JSON escaping (CMake would have to misbehave badly to inject a quote).
+  const BuildInfo& info = build_info();
+  std::string out = "{\"git_hash\":\"";
+  out += info.git_hash;
+  out += "\",\"compiler\":\"";
+  out += info.compiler;
+  out += "\",\"build_type\":\"";
+  out += info.build_type;
+  out += "\",\"generated_by\":\"";
+  out += generator;
+  out += "\"}";
+  return out;
+}
+
+}  // namespace faultroute::obs

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace faultroute::obs {
+
+/// Build provenance, stamped by CMake into the generated obs/version.hpp
+/// (see src/obs/version.hpp.in) so every bench record, scenario report, and
+/// metrics file is attributable to the exact build that produced it.
+struct BuildInfo {
+  std::string git_hash;    ///< short commit hash, "-dirty" suffixed; "unknown" outside git
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, e.g. "Release"
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+/// The provenance object every schema-versioned report embeds, rendered as
+/// one JSON object: {"git_hash":...,"compiler":...,"build_type":...,
+/// "generated_by":<generator>}.
+[[nodiscard]] std::string provenance_json(std::string_view generator);
+
+}  // namespace faultroute::obs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace faultroute::obs {
+
+/// How a counter's per-thread slots combine into one reported value.
+enum class MergeKind : std::uint8_t {
+  kSum,  ///< monotone event counts (probes, transmissions, sim steps)
+  kMax,  ///< high-water gauges (peak active channels, makespan)
+};
+
+/// A registry of hierarchical named runtime counters with per-thread sharded
+/// storage.
+///
+/// Names are dot-separated paths ("traffic.cache.hits"); the hierarchy is a
+/// naming convention consumed by downstream tooling, not a tree structure in
+/// memory. A counter is registered once via `id()` (mutex-protected, cold)
+/// and then incremented through `add()` / `record_max()` on the hot path.
+///
+/// Sharding: every thread gets its own slab of cache-line-padded slots, one
+/// per counter, created lazily on the thread's first increment and reused for
+/// the registry's lifetime. An increment is a relaxed load + relaxed *plain
+/// store* to the thread's own slot — no atomic RMW, no lock, no false
+/// sharing, so hot-loop counting never contends. `value()` / `snapshot()`
+/// merge the slabs (sum or max per MergeKind); totals are exact once the
+/// incrementing threads have finished their work (e.g. after a
+/// parallel_index_loop joins), which is the only time the engine reads them.
+///
+/// The registry has a fixed counter capacity chosen at construction so slabs
+/// never reallocate under concurrent readers; `id()` throws std::length_error
+/// beyond it. 256 slots is far above what the engine registers.
+class CounterRegistry {
+ public:
+  using CounterId = std::uint32_t;
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit CounterRegistry(std::size_t capacity = kDefaultCapacity);
+  CounterRegistry(const CounterRegistry&) = delete;
+  CounterRegistry& operator=(const CounterRegistry&) = delete;
+  ~CounterRegistry();
+
+  /// Find-or-register `name`. Throws std::length_error when the registry is
+  /// full and std::invalid_argument when `name` was already registered with
+  /// a different MergeKind.
+  [[nodiscard]] CounterId id(std::string_view name, MergeKind kind = MergeKind::kSum);
+
+  /// Number of registered counters.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Hot path: adds `delta` to the calling thread's slot of counter `c`
+  /// (a plain store; see class comment). `c` must be a kSum counter of this
+  /// registry.
+  void add(CounterId c, std::uint64_t delta);
+
+  /// Hot path for kMax gauges: raises the calling thread's slot to `value`
+  /// if it is larger.
+  void record_max(CounterId c, std::uint64_t value);
+
+  /// Merged value of one counter across all thread slabs.
+  [[nodiscard]] std::uint64_t value(CounterId c) const;
+
+  struct Entry {
+    std::string name;
+    MergeKind kind;
+    std::uint64_t value;
+  };
+  /// All counters with merged values, sorted by name.
+  [[nodiscard]] std::vector<Entry> snapshot() const;
+
+ private:
+  /// One thread's slots: capacity_ cache-line-padded relaxed atomics. Only
+  /// the owning thread writes (plain stores); snapshots read concurrently.
+  struct Cell {
+    alignas(64) std::atomic<std::uint64_t> value{0};
+  };
+  struct Slab {
+    explicit Slab(std::size_t capacity) : cells(new Cell[capacity]) {}
+    std::unique_ptr<Cell[]> cells;
+  };
+
+  [[nodiscard]] Slab& slab_for_current_thread();
+
+  const std::size_t capacity_;
+  const std::uint64_t instance_;  // distinguishes registries in the TLS cache
+  mutable std::mutex mutex_;
+  std::vector<std::string> names_;
+  std::vector<MergeKind> kinds_;
+  std::map<std::string, CounterId, std::less<>> index_;
+  std::map<std::thread::id, std::unique_ptr<Slab>> slabs_;
+};
+
+/// Process-global registry for counters with no natural per-run owner —
+/// e.g. FlatAdjacency materializations, which happen inside lazily-cached
+/// topology state. RunMetrics folds these into its metrics report.
+[[nodiscard]] CounterRegistry& global_registry();
+
+/// Convenience for cold global-count sites: find-or-register + add.
+void global_count(std::string_view name, std::uint64_t delta = 1);
+
+}  // namespace faultroute::obs

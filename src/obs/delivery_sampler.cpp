@@ -1,0 +1,28 @@
+#include "obs/delivery_sampler.hpp"
+
+#include <algorithm>
+
+namespace faultroute::obs {
+
+DeliverySampler::DeliverySampler(std::size_t max_samples)
+    : max_samples_(std::max<std::size_t>(max_samples, 2)) {
+  samples_.reserve(max_samples_);
+}
+
+void DeliverySampler::record(const Sample& sample) {
+  const bool keep = steps_seen_ % stride_ == 0;
+  ++steps_seen_;
+  if (!keep) return;
+  if (samples_.size() == max_samples_) {
+    // Decimate: keep the even-indexed samples (those at step % (2*stride)
+    // == 0), so spacing stays uniform and sample 0 survives every halving.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < samples_.size(); i += 2) samples_[kept++] = samples_[i];
+    samples_.resize(kept);
+    stride_ *= 2;
+    if ((steps_seen_ - 1) % stride_ != 0) return;  // this sample no longer lands on-grid
+  }
+  samples_.push_back(sample);
+}
+
+}  // namespace faultroute::obs

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace faultroute::obs {
+
+/// Bounded per-step time-series of the delivery simulation.
+///
+/// The event engine offers one `record()` per executed timestep; the sampler
+/// keeps every `stride()`-th offered step and, whenever the buffer reaches
+/// its capacity, halves it (dropping the odd-indexed samples) and doubles the
+/// stride. Memory is therefore O(max_samples) however many steps a run
+/// simulates, the kept samples stay evenly spaced over the whole horizon, and
+/// the very first step is always retained. Strides are powers of two, so a
+/// decimated series is a prefix-preserving subsequence of a finer one.
+///
+/// Not thread-safe — the delivery phase is sequential by design. Purely
+/// observational: the engine's behaviour is identical with or without a
+/// sampler attached (pinned by tests/test_observability.cpp).
+class DeliverySampler {
+ public:
+  /// `max_samples` is clamped to at least 2 (so decimation can always halve).
+  explicit DeliverySampler(std::size_t max_samples = 4096);
+
+  struct Sample {
+    std::uint64_t time = 0;             ///< simulation timestep t
+    std::uint64_t step = 0;             ///< executed-step ordinal (idle gaps skipped)
+    std::uint64_t active_channels = 0;  ///< channels with a non-empty queue
+    std::uint64_t queued = 0;           ///< messages waiting in channel FIFOs
+    std::uint64_t in_transit = 0;       ///< messages arriving next step
+    std::uint64_t injections = 0;       ///< fresh injections admitted this step
+  };
+
+  /// Offers one executed step; kept iff `steps_seen() % stride() == 0`.
+  void record(const Sample& sample);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t stride() const { return stride_; }
+  [[nodiscard]] std::uint64_t steps_seen() const { return steps_seen_; }
+  [[nodiscard]] std::size_t max_samples() const { return max_samples_; }
+
+ private:
+  std::size_t max_samples_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t steps_seen_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace faultroute::obs

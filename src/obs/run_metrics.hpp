@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string_view>
+
+#include "obs/counter_registry.hpp"
+#include "obs/delivery_sampler.hpp"
+#include "obs/phase_profiler.hpp"
+
+namespace faultroute::obs {
+
+/// Schema identifier of the --metrics JSON report. Bump whenever a field is
+/// added, removed, renamed, or its meaning/units change (same contract as
+/// the scenario and bench schemas; validated by scripts/check_bench_schema.py).
+inline constexpr int kMetricsSchemaVersion = 1;
+inline constexpr const char* kMetricsSchemaName = "faultroute.metrics.v1";
+
+/// One run's observability state: a CounterRegistry, a PhaseProfiler, and an
+/// optional DeliverySampler, bundled so the engine threads a single nullable
+/// pointer (TrafficConfig::metrics, scenario::RunOptions::metrics).
+///
+/// Lifecycle: the CLI constructs one RunMetrics when --metrics or --trace is
+/// given, hands it to the command, and serializes it afterwards —
+/// write_metrics_json for the faultroute.metrics.v1 report,
+/// write_chrome_trace for a chrome://tracing / Perfetto trace. When neither
+/// flag is given no RunMetrics exists and every instrumentation site costs
+/// exactly one null check; with it attached, no simulation result changes by
+/// a bit (pinned by tests/test_observability.cpp).
+///
+/// This is also the substrate a future `faultroute serve` daemon snapshots
+/// for its /counters endpoint: counters() is concurrency-safe by design.
+class RunMetrics {
+ public:
+  RunMetrics() = default;
+  RunMetrics(const RunMetrics&) = delete;
+  RunMetrics& operator=(const RunMetrics&) = delete;
+
+  [[nodiscard]] CounterRegistry& counters() { return counters_; }
+  [[nodiscard]] const CounterRegistry& counters() const { return counters_; }
+  [[nodiscard]] PhaseProfiler& profiler() { return profiler_; }
+  [[nodiscard]] const PhaseProfiler& profiler() const { return profiler_; }
+
+  /// The delivery time-series sampler, or nullptr until enabled. The engine
+  /// samples only when this is non-null, so scenario sweeps (many cells, one
+  /// registry) leave it off while `faultroute traffic` turns it on.
+  [[nodiscard]] DeliverySampler* delivery_sampler() { return sampler_.get(); }
+  [[nodiscard]] const DeliverySampler* delivery_sampler() const { return sampler_.get(); }
+  DeliverySampler& enable_delivery_sampler(std::size_t max_samples = 4096) {
+    sampler_ = std::make_unique<DeliverySampler>(max_samples);
+    return *sampler_;
+  }
+
+  /// Writes the faultroute.metrics.v1 report: schema header, build
+  /// provenance, this run's counters merged with the process-global registry
+  /// (graph.* counters), aggregated phase timings, profiler tracks, and the
+  /// delivery time-series when sampling was enabled.
+  void write_metrics_json(std::ostream& out, std::string_view command) const;
+
+  /// Writes a Chrome trace-event JSON object ({"traceEvents":[...]}) —
+  /// loadable in chrome://tracing and Perfetto — with one complete ("X")
+  /// event per recorded span and one thread_name metadata event per track,
+  /// so every parallel_index_loop worker renders as its own lane.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  CounterRegistry counters_;
+  PhaseProfiler profiler_;
+  std::unique_ptr<DeliverySampler> sampler_;
+};
+
+}  // namespace faultroute::obs

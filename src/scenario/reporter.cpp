@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/build_info.hpp"
+
 namespace faultroute::scenario {
 
 namespace {
@@ -77,9 +79,14 @@ std::string csv_escape(const std::string& field) {
 
 void JsonLinesReporter::begin(const ScenarioSpec& spec) {
   // `threads` is deliberately absent: results are independent of it, and the
-  // header must be too, so reports stay diffable across machines.
+  // header must be too, so reports stay diffable across machines. Provenance
+  // identifies the *build* (schema v3) — reruns of one binary still match
+  // byte-for-byte; cross-build diffs show the hash change in the header
+  // while every cell line stays comparable.
   out_ << "{\"type\":\"header\",\"schema\":\"" << kSchemaName
-       << "\",\"schema_version\":" << kSchemaVersion << ",\"name\":" << json_str(spec.name)
+       << "\",\"schema_version\":" << kSchemaVersion
+       << ",\"provenance\":" << obs::provenance_json("faultroute scenario")
+       << ",\"name\":" << json_str(spec.name)
        << ",\"topologies\":" << json_list(spec.topologies)
        << ",\"routers\":" << json_list(spec.routers)
        << ",\"workloads\":" << json_list(spec.workloads)
@@ -104,6 +111,7 @@ void JsonLinesReporter::report(const CellResult& cell) {
        << ",\"stranded\":" << cell.stranded
        << ",\"total_distinct_probes\":" << cell.total_distinct_probes
        << ",\"unique_edges_probed\":" << cell.unique_edges_probed
+       << ",\"cache_hits\":" << cell.cache_hits << ",\"cache_misses\":" << cell.cache_misses
        << ",\"probe_amortization\":" << json_num(cell.probe_amortization)
        << ",\"max_edge_load\":" << cell.max_edge_load
        << ",\"mean_edge_load\":" << json_num(cell.mean_edge_load)
@@ -116,7 +124,12 @@ void JsonLinesReporter::report(const CellResult& cell) {
        << ",\"admission_events\":" << cell.admission_events
        << ",\"transmissions\":" << cell.transmissions
        << ",\"peak_active_channels\":" << cell.peak_active_channels
-       << ",\"channels\":" << cell.channels << "}\n";
+       << ",\"channels\":" << cell.channels;
+  if (cell.has_timings) {
+    out_ << ",\"routing_ms\":" << json_num(cell.routing_ms)
+         << ",\"delivery_ms\":" << json_num(cell.delivery_ms);
+  }
+  out_ << "}\n";
   ++cells_reported_;
 }
 
@@ -130,7 +143,8 @@ void CsvReporter::begin(const ScenarioSpec& spec) {
   scenario_name_ = spec.name;
   out_ << "schema,scenario,cell,topology,topology_name,vertices,p,router,workload,trial,"
           "env_seed,workload_seed,messages,routed,failed_routing,censored,invalid_paths,"
-          "delivered,stranded,total_distinct_probes,unique_edges_probed,probe_amortization,"
+          "delivered,stranded,total_distinct_probes,unique_edges_probed,cache_hits,"
+          "cache_misses,probe_amortization,"
           "max_edge_load,mean_edge_load,edges_used,makespan,mean_queueing_delay,"
           "max_queueing_delay,mean_path_edges,throughput,sim_steps,admission_events,"
           "transmissions,peak_active_channels,channels\n";
@@ -144,7 +158,8 @@ void CsvReporter::report(const CellResult& cell) {
        << cell.workload_seed << ',' << cell.messages << ',' << cell.routed << ','
        << cell.failed_routing << ',' << cell.censored << ',' << cell.invalid_paths << ','
        << cell.delivered << ',' << cell.stranded << ',' << cell.total_distinct_probes << ','
-       << cell.unique_edges_probed << ',' << fmt(cell.probe_amortization) << ','
+       << cell.unique_edges_probed << ',' << cell.cache_hits << ',' << cell.cache_misses
+       << ',' << fmt(cell.probe_amortization) << ','
        << cell.max_edge_load << ',' << fmt(cell.mean_edge_load) << ',' << cell.edges_used
        << ',' << cell.makespan << ',' << fmt(cell.mean_queueing_delay) << ','
        << cell.max_queueing_delay << ',' << fmt(cell.mean_path_edges) << ','

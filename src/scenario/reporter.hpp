@@ -12,8 +12,8 @@ namespace faultroute::scenario {
 /// Schema identifier stamped into every report so downstream tooling can
 /// diff result sets across PRs. Bump the version whenever a field is added,
 /// removed, renamed, or its meaning/units change.
-inline constexpr int kSchemaVersion = 2;
-inline constexpr const char* kSchemaName = "faultroute.scenario.v2";
+inline constexpr int kSchemaVersion = 3;
+inline constexpr const char* kSchemaName = "faultroute.scenario.v3";
 
 /// One cell of a scenario's cross-product: the aggregate traffic metrics of
 /// one (topology, p, router, workload, trial) combination. Field meanings
@@ -40,6 +40,10 @@ struct CellResult {
   std::uint64_t stranded = 0;
   std::uint64_t total_distinct_probes = 0;
   std::uint64_t unique_edges_probed = 0;
+  // SharedProbeCache hit/miss split (schema v3) — exact and deterministic;
+  // see TrafficResult::cache_hits.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   double probe_amortization = 0.0;
   std::uint64_t max_edge_load = 0;
   double mean_edge_load = 0.0;
@@ -57,6 +61,13 @@ struct CellResult {
   std::uint64_t transmissions = 0;
   std::uint64_t peak_active_channels = 0;
   std::uint64_t channels = 0;
+
+  // Per-cell wall-clock phase timings, emitted only when has_timings (the
+  // scenario --cell-timings opt-in, JSONL only). Opt-in because wall clock
+  // breaks the byte-identical-rerun property every other field keeps.
+  bool has_timings = false;
+  double routing_ms = 0.0;
+  double delivery_ms = 0.0;
 };
 
 /// Sink for scenario results. The runner guarantees the call order

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "obs/run_metrics.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "random/rng.hpp"
 #include "sim/registry.hpp"
@@ -39,7 +40,15 @@ CellCoords decode_cell(const ScenarioSpec& spec, std::uint64_t index) {
 }  // namespace
 
 RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
+  return run_scenario(spec, reporter, RunOptions{});
+}
+
+RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter,
+                        const RunOptions& options) {
   validate_scenario(spec);
+  obs::PhaseProfiler* profiler =
+      options.metrics != nullptr ? &options.metrics->profiler() : nullptr;
+  const obs::PhaseProfiler::Scope scenario_scope(profiler, "scenario");
 
   // Fail-fast construction of every registry spec before any cell runs.
   std::vector<std::unique_ptr<Topology>> topologies;
@@ -73,6 +82,10 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
 
   parallel_index_loop(cells, spec.threads, [&]() {
     return [&](std::size_t index) {
+      // One span per cell on the worker's own track; the engine's phase
+      // scopes nest inside it ("cell-7/routing/...").
+      const obs::PhaseProfiler::Scope cell_scope(profiler,
+                                                 "cell-" + std::to_string(index));
       const auto coords = decode_cell(spec, index);
       const Topology& topology = *topologies[coords.topology];
 
@@ -99,6 +112,10 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
       config.max_steps = spec.max_steps;
       config.threads = 1;  // parallelism is across cells, not within one
       config.adjacency = parse_adjacency_mode(spec.adjacency);
+      config.metrics = options.metrics;  // counters merge across cells; the
+                                         // registry shards per worker thread
+      TrafficPhaseTimings timings;
+      if (options.cell_timings) config.timings = &timings;
       const HashEdgeSampler environment(cell.p, cell.env_seed);
       const auto factory = [&]() { return sim::make_router(cell.router, topology); };
       const TrafficResult traffic =
@@ -113,6 +130,8 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
       cell.stranded = traffic.stranded;
       cell.total_distinct_probes = traffic.total_distinct_probes;
       cell.unique_edges_probed = traffic.unique_edges_probed;
+      cell.cache_hits = traffic.cache_hits;
+      cell.cache_misses = traffic.cache_misses;
       cell.probe_amortization = traffic.probe_amortization();
       cell.max_edge_load = traffic.max_edge_load;
       cell.mean_edge_load = traffic.mean_edge_load;
@@ -127,6 +146,15 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
       cell.transmissions = traffic.transmissions;
       cell.peak_active_channels = traffic.peak_active_channels;
       cell.channels = traffic.channels;
+      if (options.cell_timings) {
+        cell.has_timings = true;
+        cell.routing_ms = timings.routing_ms;
+        cell.delivery_ms = timings.delivery_ms;
+      }
+      if (options.metrics != nullptr) {
+        obs::CounterRegistry& counters = options.metrics->counters();
+        counters.add(counters.id("scenario.cells"), 1);
+      }
     };
   });
 

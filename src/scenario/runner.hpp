@@ -5,6 +5,10 @@
 #include "scenario/reporter.hpp"
 #include "scenario/spec.hpp"
 
+namespace faultroute::obs {
+class RunMetrics;
+}
+
 namespace faultroute::scenario {
 
 /// Run totals, for the CLI's human-readable closing line (the machine
@@ -13,6 +17,21 @@ struct RunSummary {
   std::uint64_t cells = 0;
   std::uint64_t messages = 0;
   std::uint64_t delivered = 0;
+};
+
+/// Observability knobs of a scenario run. Defaults are all-off, which is
+/// the zero-overhead path (one null check per instrumentation site).
+struct RunOptions {
+  /// When non-null, the run records per-cell phase spans (one "cell-<i>"
+  /// scope per cell on its worker's track, with the traffic engine's phases
+  /// nested inside) and harvests traffic counters across all cells into the
+  /// registry. Shared by every worker; the pointee must outlive the call.
+  /// Never changes results or report bytes.
+  obs::RunMetrics* metrics = nullptr;
+  /// Emit per-cell wall-clock routing_ms / delivery_ms in the report
+  /// (JSONL only). Opt-in because wall clock is the one field class that
+  /// would break the byte-identical-rerun property of reports.
+  bool cell_timings = false;
 };
 
 /// Executes every cell of the scenario's cross-product and streams the
@@ -41,5 +60,7 @@ struct RunSummary {
 /// *before* the first cell runs, so a typo anywhere in the spec throws
 /// std::invalid_argument before any output is produced.
 RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter);
+RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter,
+                        const RunOptions& options);
 
 }  // namespace faultroute::scenario

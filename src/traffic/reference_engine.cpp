@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "core/edge_load.hpp"
+#include "obs/run_metrics.hpp"
 #include "random/splitmix64.hpp"
 #include "traffic/routing_phase.hpp"
 #include "traffic/traffic_engine.hpp"
@@ -171,6 +172,10 @@ TrafficResult run_traffic_reference(const Topology& graph, const EdgeSampler& sa
                                                   delivery_start)
             .count();
   }
+  // Same counter harvest as run_traffic, so --metrics is engine-agnostic.
+  // The oracle gets no phase scopes or delivery sampling: its delivery loop
+  // exists to be diffed against, not to be observed.
+  if (config.metrics != nullptr) detail::record_traffic_counters(*config.metrics, result);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/parallel.hpp"
+#include "obs/run_metrics.hpp"
 #include "traffic/shared_probe_cache.hpp"
 
 namespace faultroute::detail {
@@ -21,11 +22,26 @@ void route_all(const Topology& graph, const EdgeSampler& env,
                const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
                const FlatAdjacency* flat, std::vector<MessageOutcome>& outcomes,
                std::vector<Path>& paths) {
+  // Instrumentation is resolved once, outside the loop: counter ids here,
+  // then one per-worker span plus two plain-store adds per message inside.
+  obs::CounterRegistry* counters =
+      config.metrics != nullptr ? &config.metrics->counters() : nullptr;
+  const obs::CounterRegistry::CounterId probe_calls =
+      counters != nullptr ? counters->id("traffic.routing.probe_calls") : 0;
+  const obs::CounterRegistry::CounterId expansions =
+      counters != nullptr ? counters->id("traffic.routing.bfs_expansions") : 0;
+  obs::PhaseProfiler* profiler =
+      config.metrics != nullptr ? &config.metrics->profiler() : nullptr;
   parallel_index_loop(messages.size(), config.threads, [&] {
     const std::shared_ptr<Router> router = make_router();
     const std::shared_ptr<ProbeArena> arena =
         config.dense_probe_state ? std::make_shared<ProbeArena>() : nullptr;
-    return [&, router, arena](std::size_t i) {
+    // The worker's whole routing stint is one span on its own track; the
+    // body closure (and with it the scope) is destroyed on the worker
+    // thread when the worker drains, closing the span there.
+    const std::shared_ptr<obs::PhaseProfiler::Scope> span =
+        std::make_shared<obs::PhaseProfiler::Scope>(profiler, "route-worker");
+    return [&, router, arena, span](std::size_t i) {
       const TrafficMessage& msg = messages[i];
       MessageOutcome& out = outcomes[i];
       out.message = msg;
@@ -43,6 +59,10 @@ void route_all(const Topology& graph, const EdgeSampler& env,
         out.censored = true;
       }
       out.distinct_probes = ctx.distinct_probes();
+      if (counters != nullptr) {
+        counters->add(probe_calls, ctx.total_probes());
+        counters->add(expansions, ctx.expansions());
+      }
       if (path) {
         out.routed = true;
         // Routers may legally return walks; forwarding a loop would burn
@@ -60,6 +80,9 @@ std::vector<RoutedJourney> route_and_validate(
     const Topology& graph, const EdgeSampler& sampler, const RouterFactory& make_router,
     const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
     TrafficResult& result) {
+  obs::PhaseProfiler* profiler =
+      config.metrics != nullptr ? &config.metrics->profiler() : nullptr;
+  const obs::PhaseProfiler::Scope routing_scope(profiler, "routing");
   std::vector<Path> paths(messages.size());
 
   // One adjacency resolution for the whole batch: every probe, validation
@@ -83,11 +106,27 @@ std::vector<RoutedJourney> route_and_validate(
       env = &sharded_cache.emplace(sampler);
     }
   }
-  route_all(graph, *env, make_router, messages, config, flat, result.outcomes, paths);
-  if (dense_cache) result.unique_edges_probed = dense_cache->unique_edges();
-  if (sharded_cache) result.unique_edges_probed = sharded_cache->unique_edges();
+  {
+    const obs::PhaseProfiler::Scope route_scope(profiler, "route");
+    route_all(graph, *env, make_router, messages, config, flat, result.outcomes, paths);
+  }
+  // Hit/miss totals are exact, not approximate, in this pipeline: the
+  // per-message memo means each cache ever sees one lookup per (message,
+  // edge), so hits + misses == total_distinct_probes and misses ==
+  // unique_edges_probed, deterministically (see TrafficResult::cache_hits).
+  if (dense_cache) {
+    result.unique_edges_probed = dense_cache->unique_edges();
+    result.cache_hits = dense_cache->approx_hits();
+    result.cache_misses = dense_cache->approx_misses();
+  }
+  if (sharded_cache) {
+    result.unique_edges_probed = sharded_cache->unique_edges();
+    result.cache_hits = sharded_cache->approx_hits();
+    result.cache_misses = sharded_cache->approx_misses();
+  }
 
   // Validate paths and resolve every hop's incident slot.
+  const obs::PhaseProfiler::Scope validate_scope(profiler, "validate");
   std::vector<RoutedJourney> journeys(messages.size());
   for (std::size_t i = 0; i < messages.size(); ++i) {
     MessageOutcome& out = result.outcomes[i];
@@ -132,6 +171,32 @@ std::vector<RoutedJourney> route_and_validate(
     ++result.routed;
   }
   return journeys;
+}
+
+void record_traffic_counters(obs::RunMetrics& metrics, const TrafficResult& result) {
+  obs::CounterRegistry& counters = metrics.counters();
+  const auto sum = [&](std::string_view name, std::uint64_t value) {
+    counters.add(counters.id(name), value);
+  };
+  sum("traffic.routing.messages", result.messages);
+  sum("traffic.routing.routed", result.routed);
+  sum("traffic.routing.failed_routing", result.failed_routing);
+  sum("traffic.routing.censored", result.censored);
+  sum("traffic.routing.invalid_paths", result.invalid_paths);
+  sum("traffic.routing.distinct_probes", result.total_distinct_probes);
+  sum("traffic.cache.hits", result.cache_hits);
+  sum("traffic.cache.misses", result.cache_misses);
+  sum("traffic.cache.unique_edges", result.unique_edges_probed);
+  sum("traffic.delivery.delivered", result.delivered);
+  sum("traffic.delivery.stranded", result.stranded);
+  sum("traffic.delivery.sim_steps", result.sim_steps);
+  sum("traffic.delivery.admission_events", result.admission_events);
+  sum("traffic.delivery.transmissions", result.transmissions);
+  counters.record_max(
+      counters.id("traffic.delivery.peak_active_channels", obs::MergeKind::kMax),
+      result.peak_active_channels);
+  counters.record_max(counters.id("traffic.delivery.makespan", obs::MergeKind::kMax),
+                      result.makespan);
 }
 
 }  // namespace faultroute::detail

@@ -31,4 +31,10 @@ struct RoutedJourney {
     const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
     TrafficResult& result);
 
+/// Harvests a finished run's aggregate fields into `metrics`'s counter
+/// registry under the traffic.* namespace (routing partition, probe/cache
+/// economics, delivery event counts and gauges). Shared by both engines so
+/// --metrics reports the same counters regardless of --engine.
+void record_traffic_counters(obs::RunMetrics& metrics, const TrafficResult& result);
+
 }  // namespace faultroute::detail

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "core/edge_load.hpp"
 #include "graph/channel_index.hpp"
+#include "obs/run_metrics.hpp"
 #include "traffic/routing_phase.hpp"
 
 namespace faultroute {
@@ -39,6 +41,10 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   TrafficResult result;
   result.messages = messages.size();
   result.outcomes.resize(messages.size());
+  obs::PhaseProfiler* profiler =
+      config.metrics != nullptr ? &config.metrics->profiler() : nullptr;
+  obs::DeliverySampler* sampler_ts =
+      config.metrics != nullptr ? config.metrics->delivery_sampler() : nullptr;
   const auto phase_start = std::chrono::steady_clock::now();
 
   // ---------------------------------------------------------- phase 1: route
@@ -56,6 +62,8 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
 
   // Journeys compiled flat: one uint32 channel id per hop, all hops
   // concatenated; per message a [cursor, end) window into the flat array.
+  std::optional<obs::PhaseProfiler::Scope> compile_scope;
+  compile_scope.emplace(profiler, "compile");
   std::uint64_t total_hops = 0;
   for (const auto& journey : journeys) total_hops += journey.slots.size();
   std::vector<std::uint32_t> hop_channel;
@@ -73,11 +81,14 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
     }
     hop_end[i] = hop_channel.size();
   }
+  compile_scope.reset();
   const auto delivery_start = std::chrono::steady_clock::now();
   if (config.timings) {
     config.timings->routing_ms =
         std::chrono::duration<double, std::milli>(delivery_start - phase_start).count();
   }
+  std::optional<obs::PhaseProfiler::Scope> delivery_scope;
+  delivery_scope.emplace(profiler, "delivery");
 
   // Injections, sorted by (time, id) — the order the timeline consumes them.
   // Workloads arrive presorted (generate_workload's contract), making this a
@@ -124,9 +135,11 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
 
     // Admissions due now: mid-journey arrivals merged with fresh injections,
     // processed in ascending id order (the deterministic FIFO tie-break).
+    std::uint64_t injected_now = 0;
     while (injected < injections.size() && injections[injected].first == t) {
       arrivals.push_back(injections[injected].second);
       ++injected;
+      ++injected_now;
     }
     std::sort(arrivals.begin(), arrivals.end());
     result.admission_events += arrivals.size();
@@ -175,6 +188,19 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
         ++k;
       }
     }
+    if (sampler_ts != nullptr) {
+      // End-of-step snapshot. Queue depth needs no scan: in_flight splits
+      // exactly into not-yet-injected + arriving-next-step + sitting-in-FIFOs.
+      obs::DeliverySampler::Sample sample;
+      sample.time = t;
+      sample.step = steps - 1;
+      sample.active_channels = active.size();
+      sample.in_transit = next_arrivals.size();
+      sample.queued =
+          in_flight - (injections.size() - injected) - next_arrivals.size();
+      sample.injections = injected_now;
+      sampler_ts->record(sample);
+    }
     ++t;
     arrivals.swap(next_arrivals);
   }
@@ -182,6 +208,8 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   result.sim_steps = steps;
 
   // ------------------------------------------------------------- aggregation
+  delivery_scope.reset();
+  const obs::PhaseProfiler::Scope aggregate_scope(profiler, "aggregate");
   const EdgeLoadStats congestion = summarize_channel_load(index, channel_load, used_channels);
   result.transmissions = congestion.total;
   result.max_edge_load = congestion.max_load;
@@ -203,6 +231,7 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
     result.mean_path_edges = hops_sum / static_cast<double>(result.delivered);
   }
   if (config.timings) config.timings->delivery_ms = ms_since(delivery_start);
+  if (config.metrics != nullptr) detail::record_traffic_counters(*config.metrics, result);
   return result;
 }
 
@@ -217,6 +246,8 @@ Table traffic_table(const TrafficResult& result) {
   table.add_row({"stranded", Table::fmt(result.stranded)});
   table.add_row({"total distinct probes", Table::fmt(result.total_distinct_probes)});
   table.add_row({"unique edges probed", Table::fmt(result.unique_edges_probed)});
+  table.add_row({"probe cache hits", Table::fmt(result.cache_hits)});
+  table.add_row({"probe cache misses", Table::fmt(result.cache_misses)});
   table.add_row({"probe amortization", Table::fmt(result.probe_amortization(), 2)});
   table.add_row({"max edge load", Table::fmt(result.max_edge_load)});
   table.add_row({"mean edge load", Table::fmt(result.mean_edge_load, 2)});

@@ -15,6 +15,10 @@
 
 namespace faultroute {
 
+namespace obs {
+class RunMetrics;
+}
+
 /// Optional wall-clock instrumentation of a traffic run (see
 /// TrafficConfig::timings). Purely observational: simulation results are
 /// byte-identical whether or not timings are collected.
@@ -70,6 +74,13 @@ struct TrafficConfig {
   /// (bench instrumentation; see bench/bench_delivery.cpp). The pointee must
   /// outlive the run_traffic call. Never affects simulation results.
   TrafficPhaseTimings* timings = nullptr;
+  /// When non-null, the run feeds the observability sink (src/obs/): counters
+  /// for every phase, nested phase spans on the profiler, and — if its
+  /// delivery sampler is enabled — a per-step delivery time-series. The
+  /// pointee must outlive the run. Off (nullptr) costs one null check per
+  /// site; on, simulation results are bit-identical (pinned by
+  /// tests/test_observability.cpp).
+  obs::RunMetrics* metrics = nullptr;
 };
 
 /// Per-message outcome, indexed by message id.
@@ -102,6 +113,14 @@ struct TrafficResult {
   /// Union over messages = batch discovery cost. Only tracked when
   /// use_shared_cache is on (0 otherwise).
   std::uint64_t unique_edges_probed = 0;
+  /// SharedProbeCache hit/miss split of the batch's distinct probes. Exact
+  /// and deterministic despite concurrent routing: ProbeContext memoises per
+  /// message, so the cache sees each (message, edge) pair once, giving
+  /// cache_hits + cache_misses == total_distinct_probes and
+  /// cache_misses == unique_edges_probed. Both 0 when use_shared_cache is
+  /// off.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   /// total_distinct_probes / unique_edges_probed: how many times the batch
   /// re-used each discovered edge (1.0 = no sharing; grows with batch size).
   [[nodiscard]] double probe_amortization() const {

@@ -30,6 +30,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "analysis/table.hpp"
@@ -39,6 +40,7 @@
 #include "graph/double_tree.hpp"
 #include "graph/flat_adjacency.hpp"
 #include "graph/mesh.hpp"
+#include "obs/run_metrics.hpp"
 #include "percolation/cluster_analysis.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "percolation/threshold.hpp"
@@ -104,6 +106,51 @@ AdjacencyMode adjacency_of(const Args& args) {
   return parse_adjacency_mode(args.get("adjacency", "auto"));
 }
 
+/// Shared --metrics PATH / --trace PATH handling, available on every
+/// subcommand. When either flag is given the sink owns a RunMetrics for the
+/// command to feed (counters, phase spans, delivery samples); finish()
+/// serializes it — the faultroute.metrics.v1 report and/or the Chrome
+/// trace-event JSON (open in chrome://tracing or Perfetto). With neither
+/// flag, metrics() is null and instrumentation stays on its zero-cost path.
+class ObsSink {
+ public:
+  ObsSink(const Args& args, std::string command)
+      : command_(std::move(command)),
+        metrics_path_(args.get("metrics", "")),
+        trace_path_(args.get("trace", "")) {
+    if (!metrics_path_.empty() || !trace_path_.empty()) {
+      metrics_ = std::make_unique<obs::RunMetrics>();
+      metrics_->profiler().label_current_thread("main");
+    }
+  }
+
+  [[nodiscard]] obs::RunMetrics* metrics() { return metrics_.get(); }
+
+  void finish() {
+    if (metrics_ == nullptr) return;
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) {
+        throw std::runtime_error("cannot write --metrics file '" + metrics_path_ + "'");
+      }
+      metrics_->write_metrics_json(out, command_);
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      if (!out) {
+        throw std::runtime_error("cannot write --trace file '" + trace_path_ + "'");
+      }
+      metrics_->write_chrome_trace(out);
+    }
+  }
+
+ private:
+  std::string command_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::unique_ptr<obs::RunMetrics> metrics_;
+};
+
 /// Default endpoints: the double tree routes root-to-root; everything else
 /// routes corner-to-"antipode".
 void default_pair(const Topology& graph, VertexId& u, VertexId& v) {
@@ -137,15 +184,29 @@ int cmd_route(const Args& args) {
   u = args.get_u64("from", u);
   v = args.get_u64("to", v);
 
+  ObsSink sink(args, "route");
+  obs::PhaseProfiler* profiler = sink.metrics() ? &sink.metrics()->profiler() : nullptr;
+
   const HashEdgeSampler env(p, seed);
   std::cout << graph->name() << "  p=" << p << "  seed=" << seed << "  router="
             << router->name() << "\n";
   ProbeContext ctx(*graph, env, u, router->required_mode());
-  const auto path = router->route(ctx, u, v);
+  std::optional<Path> path;
+  {
+    const obs::PhaseProfiler::Scope route_scope(profiler, "route");
+    path = router->route(ctx, u, v);
+  }
+  if (sink.metrics()) {
+    obs::CounterRegistry& counters = sink.metrics()->counters();
+    counters.add(counters.id("route.probe_calls"), ctx.total_probes());
+    counters.add(counters.id("route.distinct_probes"), ctx.distinct_probes());
+    counters.add(counters.id("route.bfs_expansions"), ctx.expansions());
+  }
   if (!path) {
     std::cout << graph->vertex_label(u) << " and " << graph->vertex_label(v)
               << " are not connected (" << ctx.distinct_probes()
               << " probes to establish)\n";
+    sink.finish();
     return 0;
   }
   std::cout << "path (" << (path->size() - 1) << " hops, fault-free distance "
@@ -155,6 +216,7 @@ int cmd_route(const Args& args) {
   if (shown < path->size()) std::cout << " ... " << graph->vertex_label(path->back());
   std::cout << "\nrouting complexity: " << ctx.distinct_probes() << " distinct probes ("
             << ctx.total_probes() << " total)\n";
+  sink.finish();
   return 0;
 }
 
@@ -162,8 +224,18 @@ int cmd_components(const Args& args) {
   const auto graph = sim::make_topology(args.require("topology"));
   const double p = args.get_double("p", 0.5);
   const std::uint64_t seed = args.get_u64("seed", 2005);
-  const auto summary =
-      analyze_components(*graph, HashEdgeSampler(p, seed), adjacency_of(args));
+  ObsSink sink(args, "components");
+  ComponentSummary summary;
+  {
+    const obs::PhaseProfiler::Scope scope(
+        sink.metrics() ? &sink.metrics()->profiler() : nullptr, "components");
+    summary = analyze_components(*graph, HashEdgeSampler(p, seed), adjacency_of(args));
+  }
+  if (sink.metrics()) {
+    obs::CounterRegistry& counters = sink.metrics()->counters();
+    counters.add(counters.id("components.open_edges"), summary.num_open_edges);
+    counters.add(counters.id("components.count"), summary.num_components);
+  }
   Table table({"metric", "value"});
   table.add_row({"vertices", Table::fmt(summary.num_vertices)});
   table.add_row({"open edges", Table::fmt(summary.num_open_edges)});
@@ -172,6 +244,7 @@ int cmd_components(const Args& args) {
   table.add_row({"largest fraction", Table::fmt(summary.largest_fraction(), 4)});
   table.add_row({"second largest", Table::fmt(summary.second_largest)});
   table.print(graph->name() + " at p=" + Table::fmt(p, 3));
+  sink.finish();
   return 0;
 }
 
@@ -182,11 +255,18 @@ int cmd_threshold(const Args& args) {
   config.trials_per_point = static_cast<int>(args.get_u64("trials", 6));
   config.tolerance = args.get_double("tolerance", 0.005);
   config.seed = args.get_u64("seed", 2005);
-  const auto order = largest_cluster_order(*graph, adjacency_of(args));
-  const double pc = estimate_threshold(order, args.get_double("lo", 0.02),
-                                       args.get_double("hi", 0.98), config);
+  ObsSink sink(args, "threshold");
+  double pc = 0.0;
+  {
+    const obs::PhaseProfiler::Scope scope(
+        sink.metrics() ? &sink.metrics()->profiler() : nullptr, "threshold");
+    const auto order = largest_cluster_order(*graph, adjacency_of(args));
+    pc = estimate_threshold(order, args.get_double("lo", 0.02), args.get_double("hi", 0.98),
+                            config);
+  }
   std::cout << graph->name() << ": giant-component threshold ~ " << pc
             << " (order parameter crosses " << config.target_fraction << ")\n";
+  sink.finish();
   return 0;
 }
 
@@ -205,11 +285,22 @@ int cmd_trials(const Args& args) {
   config.base_seed = args.get_u64("seed", 2005);
   if (args.get_u64("budget", 0) > 0) config.probe_budget = args.get_u64("budget", 0);
 
+  ObsSink sink(args, "trials");
   const auto factory = [&]() { return sim::make_router(router_name, *graph); };
-  const auto outcomes = run_routing_trials_parallel(
-      *graph, p, factory, u, v, config,
-      static_cast<unsigned>(args.get_u64("threads", 0)));
+  std::vector<TrialOutcome> outcomes;
+  {
+    const obs::PhaseProfiler::Scope scope(
+        sink.metrics() ? &sink.metrics()->profiler() : nullptr, "trials");
+    outcomes = run_routing_trials_parallel(*graph, p, factory, u, v, config,
+                                           static_cast<unsigned>(args.get_u64("threads", 0)));
+  }
   const ExperimentSummary s = summarize_trials(outcomes);
+  if (sink.metrics()) {
+    obs::CounterRegistry& counters = sink.metrics()->counters();
+    counters.add(counters.id("trials.trials"), static_cast<std::uint64_t>(s.trials));
+    counters.add(counters.id("trials.routed"), static_cast<std::uint64_t>(s.routed));
+    counters.add(counters.id("trials.censored"), static_cast<std::uint64_t>(s.censored));
+  }
 
   Table table({"metric", "value"});
   table.add_row({"trials", Table::fmt(s.trials)});
@@ -221,6 +312,7 @@ int cmd_trials(const Args& args) {
   table.add_row({"mean path edges", Table::fmt(s.mean_path_edges, 1)});
   table.add_row({"rejection rate", Table::fmt(s.rejection_rate, 3)});
   table.print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" + router_name);
+  sink.finish();
   return 0;
 }
 
@@ -236,9 +328,21 @@ int cmd_permutation(const Args& args) {
   if (args.get_u64("budget", 0) > 0) config.probe_budget = args.get_u64("budget", 0);
   config.adjacency = adjacency_of(args);
 
+  ObsSink sink(args, "permutation");
   const HashEdgeSampler env(p, seed);
   const auto factory = [&]() { return sim::make_router(router_name, *graph); };
-  const PermutationRoutingResult r = route_permutation(*graph, env, factory, config);
+  PermutationRoutingResult r;
+  {
+    const obs::PhaseProfiler::Scope scope(
+        sink.metrics() ? &sink.metrics()->profiler() : nullptr, "permutation");
+    r = route_permutation(*graph, env, factory, config);
+  }
+  if (sink.metrics()) {
+    obs::CounterRegistry& counters = sink.metrics()->counters();
+    counters.add(counters.id("permutation.pairs"), r.pairs);
+    counters.add(counters.id("permutation.routed"), r.routed);
+    counters.add(counters.id("permutation.failed"), r.failed);
+  }
 
   Table table({"metric", "value"});
   table.add_row({"pairs (connected)", Table::fmt(r.pairs)});
@@ -251,6 +355,7 @@ int cmd_permutation(const Args& args) {
   table.add_row({"mean edge load", Table::fmt(r.mean_edge_load, 2)});
   table.print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" + router_name +
               "  permutation batch");
+  sink.finish();
   return 0;
 }
 
@@ -301,6 +406,16 @@ int cmd_traffic(const Args& args) {
   // the routing phase — the third A/B axis next to --engine/--probe-state.
   config.adjacency = adjacency_of(args);
 
+  // --metrics/--trace attach the observability sink; the event engine also
+  // records the bounded per-step delivery time-series into the report
+  // (--trace-samples caps its memory; the reference engine doesn't sample).
+  ObsSink sink(args, "traffic");
+  config.metrics = sink.metrics();
+  if (sink.metrics()) {
+    sink.metrics()->enable_delivery_sampler(
+        static_cast<std::size_t>(args.get_u64("trace-samples", 4096)));
+  }
+
   const HashEdgeSampler env(p, seed);
   const auto messages = generate_workload(*graph, workload);
   const auto factory = [&]() { return sim::make_router(router_name, *graph); };
@@ -312,6 +427,7 @@ int cmd_traffic(const Args& args) {
                               router_name + "  workload=" + workload_name(workload.kind) +
                               "  engine=" + engine + "  adjacency=" +
                               adjacency_mode_name(config.adjacency));
+  sink.finish();
   return 0;
 }
 
@@ -350,8 +466,19 @@ int cmd_scenario(const std::string& file, const Args& args) {
   }
   std::ostream& out = out_path.empty() ? std::cout : out_file;
 
+  ObsSink sink(args, "scenario");
+  scenario::RunOptions options;
+  options.metrics = sink.metrics();
+  const std::string cell_timings = args.get("cell-timings", "false");
+  if (cell_timings != "true" && cell_timings != "false") {
+    throw std::invalid_argument("--cell-timings must be 'true' or 'false', got '" +
+                                cell_timings + "'");
+  }
+  options.cell_timings = cell_timings == "true";
+
   const auto reporter = scenario::make_reporter(format, out);
-  const auto summary = scenario::run_scenario(spec, *reporter);
+  const auto summary = scenario::run_scenario(spec, *reporter, options);
+  sink.finish();
   // Machine output goes to `out`; the human closing line goes to stderr so
   // stdout stays clean for piping.
   std::fprintf(stderr, "scenario '%s': %llu cells, %llu messages, %llu delivered (%s)\n",
@@ -384,6 +511,11 @@ void print_usage() {
             << "                     also on components/threshold/permutation)\n"
             << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
             << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
+            << "                   [--cell-timings true|false]\n"
+            << "observability:     --metrics PATH (faultroute.metrics.v1 JSON) and\n"
+            << "                   --trace PATH (Chrome trace-event JSON, for\n"
+            << "                   chrome://tracing / Perfetto) on every subcommand;\n"
+            << "                   traffic also takes --trace-samples N\n"
             << "\nfull reference: docs/CLI.md; scenario grammar: docs/SCENARIOS.md\n";
 }
 
