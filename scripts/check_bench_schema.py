@@ -9,6 +9,7 @@ Understands every schema the bench suite and the CLI emit — the report's
   * faultroute.bench.delivery.v1  (bench_delivery: event vs reference engine)
   * faultroute.bench.routing.v1   (bench_routing: dense vs hash probe state)
   * faultroute.bench.adjacency.v1 (bench_adjacency: flat CSR vs implicit)
+  * faultroute.bench.frontier.v1  (bench_frontier: batched frontier vs per-message)
   * faultroute.metrics.v1         (any subcommand's --metrics report)
 
 Run by CI after `bench_delivery --quick --json` / `bench_routing --quick
@@ -24,6 +25,7 @@ import sys
 DELIVERY_SCHEMA = "faultroute.bench.delivery.v1"
 ROUTING_SCHEMA = "faultroute.bench.routing.v1"
 ADJACENCY_SCHEMA = "faultroute.bench.adjacency.v1"
+FRONTIER_SCHEMA = "faultroute.bench.frontier.v1"
 METRICS_SCHEMA = "faultroute.metrics.v1"
 SCHEMA_VERSION = 1
 
@@ -109,6 +111,27 @@ ADJACENCY_BENCHMARK_FIELDS = {
 }
 
 ADJACENCY_KINDS = {"traffic", "percolation"}
+
+FRONTIER_TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "quick": bool,
+    "benchmarks": list,
+}
+
+FRONTIER_BENCHMARK_FIELDS = {
+    "name": str,
+    "cells": int,
+    "messages": int,
+    "routed": int,
+    "delivered": int,
+    "total_distinct_probes": int,
+    "unique_edges_probed": int,
+    "batch_routing_ms": (int, float),
+    "permsg_routing_ms": (int, float),
+    "speedup": (int, float),
+    "identical": bool,
+}
 
 METRICS_TOP_LEVEL = {
     "schema": str,
@@ -239,6 +262,24 @@ def check_adjacency(report: dict) -> None:
             fail(f"{where}: no cells executed")
 
 
+def check_frontier(report: dict) -> None:
+    check_common_top_level(report, FRONTIER_TOP_LEVEL)
+    for i, bench in enumerate(report["benchmarks"]):
+        where = f"benchmarks[{i}]"
+        check_fields(bench, FRONTIER_BENCHMARK_FIELDS, where)
+        if not bench["identical"]:
+            fail(f"{where} ('{bench['name']}'): frontier modes disagree "
+                 "(identical=false)")
+        if bench["delivered"] > bench["routed"]:
+            fail(f"{where}: delivered > routed")
+        if bench["unique_edges_probed"] > bench["total_distinct_probes"]:
+            fail(f"{where}: unique edges exceed summed distinct probes")
+        if bench["batch_routing_ms"] < 0 or bench["permsg_routing_ms"] < 0:
+            fail(f"{where}: negative routing time")
+        if bench["cells"] <= 0:
+            fail(f"{where}: no cells executed")
+
+
 def check_metrics(report: dict) -> None:
     check_fields(report, METRICS_TOP_LEVEL, "top level")
     if report["schema_version"] != SCHEMA_VERSION:
@@ -310,6 +351,7 @@ CHECKERS = {
     DELIVERY_SCHEMA: (check_delivery, summarize_bench),
     ROUTING_SCHEMA: (check_routing, summarize_bench),
     ADJACENCY_SCHEMA: (check_adjacency, summarize_bench),
+    FRONTIER_SCHEMA: (check_frontier, summarize_bench),
     METRICS_SCHEMA: (check_metrics, summarize_metrics),
 }
 

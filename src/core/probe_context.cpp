@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "graph/channel_index.hpp"
+#include "graph/distance_oracle.hpp"
 #include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
@@ -37,9 +38,9 @@ void ProbeArena::begin_message(const Topology& graph) {
 ProbeContext::ProbeContext(const Topology& graph, const EdgeSampler& sampler,
                            VertexId source, RoutingMode mode,
                            std::optional<std::uint64_t> budget, ProbeArena* arena,
-                           const FlatAdjacency* flat)
+                           const FlatAdjacency* flat, const DistanceOracle* oracle)
     : graph_(graph), sampler_(sampler), source_(source), mode_(mode), budget_(budget),
-      arena_(arena), flat_(flat) {
+      arena_(arena), flat_(flat), oracle_(oracle) {
   if (arena_ != nullptr) {
     arena_->begin_message(graph_);
     channels_ = arena_->channels_;
@@ -63,6 +64,11 @@ void ProbeContext::reached_insert(VertexId v) {
 bool ProbeContext::is_reached(VertexId v) const {
   if (mode_ == RoutingMode::kOracle) return true;  // no restriction to track
   return reached_contains(v);
+}
+
+const std::uint32_t* ProbeContext::target_distances(VertexId target) const {
+  if (oracle_ == nullptr) return nullptr;
+  return oracle_->distances_to(target);
 }
 
 std::optional<std::uint64_t> ProbeContext::remaining_budget() const {

@@ -13,6 +13,7 @@
 namespace faultroute {
 
 class ChannelIndex;
+class DistanceOracle;
 class FlatAdjacency;
 
 /// Whether the router is restricted to local probes (Definition 1 of the
@@ -107,10 +108,15 @@ class ProbeContext {
   /// resolve neighbor / edge key / edge id with array loads instead of
   /// virtual dispatch — a pure representation change, observable-identical
   /// to the implicit path, composing with either probe-state backend. Must
-  /// be a snapshot of `graph` and outlive the context.
+  /// be a snapshot of `graph` and outlive the context. `oracle`: optional
+  /// cached fault-free DistanceOracle for `graph` (graph/distance_oracle
+  /// .hpp); metric routers fetch per-target distance columns through
+  /// target_distances() below. Purely an accelerator for graph.distance —
+  /// column values are identical, so results never depend on its presence.
   ProbeContext(const Topology& graph, const EdgeSampler& sampler, VertexId source,
                RoutingMode mode, std::optional<std::uint64_t> budget = std::nullopt,
-               ProbeArena* arena = nullptr, const FlatAdjacency* flat = nullptr);
+               ProbeArena* arena = nullptr, const FlatAdjacency* flat = nullptr,
+               const DistanceOracle* oracle = nullptr);
 
   ProbeContext(const ProbeContext&) = delete;
   ProbeContext& operator=(const ProbeContext&) = delete;
@@ -133,6 +139,13 @@ class ProbeContext {
   /// implicit path. Routers use it to iterate neighbor rows without virtual
   /// dispatch (wrap it in an AdjacencyView to stay backend-agnostic).
   [[nodiscard]] const FlatAdjacency* flat_adjacency() const { return flat_; }
+
+  /// The memoised fault-free distance column for `target` (entry x =
+  /// graph().distance(x, target), unreachable = num_vertices()), or nullptr
+  /// when no oracle is attached or the column is not cached — fall back to
+  /// graph().distance, which returns the same values (this accessor can
+  /// change speed, never routing results).
+  [[nodiscard]] const std::uint32_t* target_distances(VertexId target) const;
 
   /// Number of distinct edges probed so far — the routing complexity of
   /// Definition 2.
@@ -179,6 +192,8 @@ class ProbeContext {
   const ChannelIndex* channels_ = nullptr;
   // Flat adjacency snapshot (nullptr = implicit virtual path).
   const FlatAdjacency* flat_ = nullptr;
+  // Cached distance oracle (nullptr = metric routers call graph.distance).
+  const DistanceOracle* oracle_ = nullptr;
 
   // Hash backend (arena_ == nullptr).
   std::unordered_map<EdgeKey, bool> memo_;

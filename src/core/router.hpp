@@ -28,6 +28,13 @@ class Router {
   [[nodiscard]] virtual std::string name() const = 0;
 
   [[nodiscard]] virtual RoutingMode required_mode() const { return RoutingMode::kLocal; }
+
+  /// True iff the router steers by the fault-free metric (graph.distance /
+  /// ProbeContext::target_distances). The traffic engine uses this to
+  /// prewarm the cached DistanceOracle with the batch's targets before
+  /// routing starts — a pure precomputation hint; routing results never
+  /// depend on it.
+  [[nodiscard]] virtual bool uses_distance_metric() const { return false; }
 };
 
 }  // namespace faultroute

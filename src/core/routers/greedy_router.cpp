@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/distance_oracle.hpp"
 #include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
@@ -14,13 +15,17 @@ namespace {
 /// Indices of v's incident edges sorted by the fault-free distance from the
 /// resulting neighbor to the target (ties broken by index for determinism).
 /// Neighbor scans go through the adjacency view (CSR row when a snapshot is
-/// up); the closed-form metric stays virtual.
-std::vector<int> edges_by_target_distance(const AdjacencyView& adj, VertexId x, VertexId v) {
+/// up); the metric resolves through `col` (a cached oracle column, or
+/// nullptr for graph.distance — identical values either way).
+std::vector<int> edges_by_target_distance(const AdjacencyView& adj, const std::uint32_t* col,
+                                          VertexId x, VertexId v) {
   const Topology& graph = adj.graph();
   const int deg = adj.degree(x);
   std::vector<std::pair<std::uint64_t, int>> ranked;
   ranked.reserve(static_cast<std::size_t>(deg));
-  for (int i = 0; i < deg; ++i) ranked.emplace_back(graph.distance(adj.neighbor(x, i), v), i);
+  for (int i = 0; i < deg; ++i) {
+    ranked.emplace_back(metric_distance(graph, col, adj.neighbor(x, i), v), i);
+  }
   std::sort(ranked.begin(), ranked.end());
   std::vector<int> order;
   order.reserve(ranked.size());
@@ -32,8 +37,9 @@ std::vector<int> edges_by_target_distance(const AdjacencyView& adj, VertexId x, 
 /// vertex-indexed arrays on the flat adjacency path, hash maps on the
 /// implicit path; marks never affect expansion order).
 template <typename Marks>
-std::optional<Path> best_first_search(ProbeContext& ctx, const AdjacencyView& adj, VertexId u,
-                                      VertexId v, Marks& parent, Marks& expanded) {
+std::optional<Path> best_first_search(ProbeContext& ctx, const AdjacencyView& adj,
+                                      const std::uint32_t* col, VertexId u, VertexId v,
+                                      Marks& parent, Marks& expanded) {
   const Topology& graph = adj.graph();
   const std::uint64_t n = graph.num_vertices();
   parent.begin(n);
@@ -41,13 +47,13 @@ std::optional<Path> best_first_search(ProbeContext& ctx, const AdjacencyView& ad
   using Entry = std::pair<std::uint64_t, VertexId>;  // (distance-to-target, vertex)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
   parent.emplace(u, u);
-  frontier.emplace(graph.distance(u, v), u);
+  frontier.emplace(metric_distance(graph, col, u, v), u);
   while (!frontier.empty()) {
     const auto [dist, x] = frontier.top();
     frontier.pop();
     if (!expanded.emplace(x, x)) continue;  // already expanded
     ctx.note_expansion();
-    for (const int i : edges_by_target_distance(adj, x, v)) {
+    for (const int i : edges_by_target_distance(adj, col, x, v)) {
       const VertexId y = adj.neighbor(x, i);
       if (parent.contains(y)) continue;
       if (!ctx.probe(x, i)) continue;
@@ -61,7 +67,7 @@ std::optional<Path> best_first_search(ProbeContext& ctx, const AdjacencyView& ad
         std::reverse(path.begin(), path.end());
         return path;
       }
-      frontier.emplace(graph.distance(y, v), y);
+      frontier.emplace(metric_distance(graph, col, y, v), y);
     }
   }
   return std::nullopt;
@@ -72,15 +78,16 @@ std::optional<Path> best_first_search(ProbeContext& ctx, const AdjacencyView& ad
 std::optional<Path> GreedyDescentRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
   const Topology& graph = ctx.graph();
   const AdjacencyView adj(graph, ctx.flat_adjacency());
+  const std::uint32_t* col = ctx.target_distances(v);
   Path path{u};
   VertexId x = u;
   while (x != v) {
     ctx.note_expansion();  // each visited vertex is this router's "frontier pop"
-    const std::uint64_t dx = graph.distance(x, v);
+    const std::uint64_t dx = metric_distance(graph, col, x, v);
     bool moved = false;
-    for (const int i : edges_by_target_distance(adj, x, v)) {
+    for (const int i : edges_by_target_distance(adj, col, x, v)) {
       const VertexId y = adj.neighbor(x, i);
-      if (graph.distance(y, v) >= dx) break;  // improving edges exhausted
+      if (metric_distance(graph, col, y, v) >= dx) break;  // improving edges exhausted
       if (ctx.probe(x, i)) {
         path.push_back(y);
         x = y;
@@ -96,10 +103,11 @@ std::optional<Path> GreedyDescentRouter::route(ProbeContext& ctx, VertexId u, Ve
 std::optional<Path> BestFirstRouter::route(ProbeContext& ctx, VertexId u, VertexId v) {
   if (u == v) return Path{u};
   const AdjacencyView adj(ctx.graph(), ctx.flat_adjacency());
+  const std::uint32_t* col = ctx.target_distances(v);
   if (ctx.flat_adjacency() != nullptr) {
-    return best_first_search(ctx, adj, u, v, dense_parent_, dense_expanded_);
+    return best_first_search(ctx, adj, col, u, v, dense_parent_, dense_expanded_);
   }
-  return best_first_search(ctx, adj, u, v, hash_parent_, hash_expanded_);
+  return best_first_search(ctx, adj, col, u, v, hash_parent_, hash_expanded_);
 }
 
 }  // namespace faultroute

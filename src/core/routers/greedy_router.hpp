@@ -16,6 +16,8 @@ class GreedyDescentRouter : public Router {
   std::optional<Path> route(ProbeContext& ctx, VertexId u, VertexId v) override;
 
   [[nodiscard]] std::string name() const override { return "greedy-descent"; }
+
+  [[nodiscard]] bool uses_distance_metric() const override { return true; }
 };
 
 /// Best-first (greedy with backtracking): a complete local router that
@@ -28,6 +30,8 @@ class BestFirstRouter : public Router {
   std::optional<Path> route(ProbeContext& ctx, VertexId u, VertexId v) override;
 
   [[nodiscard]] std::string name() const override { return "best-first"; }
+
+  [[nodiscard]] bool uses_distance_metric() const override { return true; }
 
  private:
   // Search state pooled across a worker's messages (dense on the flat

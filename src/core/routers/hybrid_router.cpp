@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/routers/landmark_walk.hpp"
+#include "graph/distance_oracle.hpp"
 #include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
@@ -14,15 +15,16 @@ std::optional<Path> HybridGreedyRouter::route(ProbeContext& ctx, VertexId u, Ver
   const AdjacencyView adj(graph, ctx.flat_adjacency());
 
   // Phase 1: pure greedy descent while it keeps making progress.
+  const std::uint32_t* col = ctx.target_distances(v);
   Path walk{u};
   VertexId x = u;
   while (x != v) {
-    const std::uint64_t dx = graph.distance(x, v);
+    const std::uint64_t dx = metric_distance(graph, col, x, v);
     // Probe improving edges in order of resulting distance.
     std::vector<std::pair<std::uint64_t, int>> improving;
     const int deg = adj.degree(x);
     for (int i = 0; i < deg; ++i) {
-      const std::uint64_t dy = graph.distance(adj.neighbor(x, i), v);
+      const std::uint64_t dy = metric_distance(graph, col, adj.neighbor(x, i), v);
       if (dy < dx) improving.emplace_back(dy, i);
     }
     std::sort(improving.begin(), improving.end());

@@ -24,6 +24,8 @@ class HybridGreedyRouter : public Router {
 
   [[nodiscard]] std::string name() const override { return "hybrid-greedy"; }
 
+  [[nodiscard]] bool uses_distance_metric() const override { return true; }
+
  private:
   // Repair-phase search state, pooled across a worker's messages (dense on
   // the flat adjacency path, hash on the implicit path; bit-identical

@@ -47,6 +47,8 @@ class CompleteGraph final : public Topology {
   }
   [[nodiscard]] std::vector<VertexId> shortest_path(VertexId u, VertexId v) const override;
 
+  [[nodiscard]] bool has_closed_form_metric() const override { return true; }
+
  private:
   std::uint64_t n_;
 };

@@ -1,0 +1,214 @@
+#include "graph/distance_oracle.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <mutex>
+
+#include "obs/counter_registry.hpp"
+
+namespace faultroute {
+
+DistanceOracle::DistanceOracle(const FlatAdjacency& flat, std::size_t num_landmarks,
+                               std::uint64_t column_budget_bytes)
+    : flat_(&flat),
+      n_(flat.num_vertices()),
+      column_budget_bytes_(column_budget_bytes) {
+  usable_ = n_ > 0 && n_ < (1ull << 32);
+  unreachable_ = usable_ ? static_cast<std::uint32_t>(n_) : 0;
+  obs::global_count("graph.distance_oracle.builds");
+  if (usable_) select_landmarks(num_landmarks);
+  obs::global_count("graph.distance_oracle.landmarks", landmarks_.size());
+}
+
+void DistanceOracle::bfs_block(const std::vector<VertexId>& sources,
+                               const std::vector<std::uint32_t*>& cols) const {
+  const std::size_t k = sources.size();
+  if (k == 0) return;
+  obs::global_count("graph.distance_oracle.bfs_blocks");
+
+  for (std::size_t m = 0; m < k; ++m) {
+    std::fill(cols[m], cols[m] + n_, unreachable_);
+    cols[m][sources[m]] = 0;
+  }
+
+  // Bit m of a word tracks source m of the block. Distances are assigned
+  // the moment a bit first enters `visited`, so the values are independent
+  // of the order vertices happen to be scanned in — the property that makes
+  // this batched sweep value-identical to one Topology::distance BFS per
+  // source (see the class comment).
+  std::vector<std::uint64_t> visited(n_, 0);
+  std::vector<std::uint64_t> frontier(n_, 0);
+  std::vector<std::uint64_t> next(n_, 0);
+  std::uint64_t frontier_vertices = 0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const VertexId s = sources[m];
+    if (frontier[s] == 0) ++frontier_vertices;
+    const std::uint64_t bit = 1ull << m;
+    visited[s] |= bit;
+    frontier[s] |= bit;
+  }
+  const std::uint64_t full = k == 64 ? ~0ull : (1ull << k) - 1;
+
+  std::uint32_t level = 0;
+  while (frontier_vertices > 0) {
+    const std::uint32_t next_level = level + 1;
+    std::uint64_t next_vertices = 0;
+    // Direction optimization (Beamer-style): expand frontier rows forward
+    // while the frontier is sparse; once it covers a decent fraction of the
+    // graph, flip to pulling — each still-unfinished vertex ORs its
+    // neighbors' frontier words and can stop as soon as its missing bits
+    // are covered. Either direction produces the same `next` set.
+    if (frontier_vertices * 8 < n_) {
+      for (VertexId v = 0; v < n_; ++v) {
+        const std::uint64_t w = frontier[v];
+        if (w == 0) continue;
+        const std::uint64_t end = flat_->row_end(v);
+        for (std::uint64_t pos = flat_->row_begin(v); pos < end; ++pos) {
+          const VertexId y = flat_->neighbor_at(pos);
+          std::uint64_t add = w & ~visited[y];
+          if (add == 0) continue;
+          if (next[y] == 0) ++next_vertices;
+          visited[y] |= add;
+          next[y] |= add;
+          while (add != 0) {
+            const int m = std::countr_zero(add);
+            add &= add - 1;
+            cols[m][y] = next_level;
+          }
+        }
+      }
+    } else {
+      for (VertexId y = 0; y < n_; ++y) {
+        const std::uint64_t rem = full & ~visited[y];
+        if (rem == 0) continue;
+        std::uint64_t acc = 0;
+        const std::uint64_t end = flat_->row_end(y);
+        for (std::uint64_t pos = flat_->row_begin(y); pos < end; ++pos) {
+          acc |= frontier[flat_->neighbor_at(pos)];
+          if ((rem & ~acc) == 0) break;
+        }
+        std::uint64_t add = rem & acc;
+        if (add == 0) continue;
+        ++next_vertices;
+        visited[y] |= add;
+        next[y] |= add;
+        while (add != 0) {
+          const int m = std::countr_zero(add);
+          add &= add - 1;
+          cols[m][y] = next_level;
+        }
+      }
+    }
+    frontier.swap(next);
+    std::fill(next.begin(), next.end(), 0);
+    frontier_vertices = next_vertices;
+    level = next_level;
+  }
+}
+
+void DistanceOracle::select_landmarks(std::size_t num_landmarks) {
+  const std::size_t k =
+      static_cast<std::size_t>(std::min<std::uint64_t>(num_landmarks, n_));
+  if (k == 0) return;
+  landmarks_.reserve(k);
+  landmark_columns_.reserve(k);
+
+  // Farthest-point selection: start at vertex 0, then repeatedly take the
+  // vertex maximizing its distance to the chosen set (ties -> lowest id).
+  // Deterministic, and the classic heuristic for well-spread ALT landmarks.
+  std::vector<std::uint32_t> min_dist(n_, std::numeric_limits<std::uint32_t>::max());
+  VertexId pick = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    landmarks_.push_back(pick);
+    Column col(new std::uint32_t[n_]);
+    const std::vector<VertexId> src{pick};
+    const std::vector<std::uint32_t*> out{col.get()};
+    bfs_block(src, out);
+    for (VertexId v = 0; v < n_; ++v) min_dist[v] = std::min(min_dist[v], col[v]);
+    landmark_columns_.push_back(std::move(col));
+    if (j + 1 == k) break;
+    pick = 0;
+    std::uint32_t best = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      if (min_dist[v] > best) {
+        best = min_dist[v];
+        pick = v;
+      }
+    }
+    if (best == 0) break;  // every vertex is already a landmark
+  }
+}
+
+void DistanceOracle::ensure_targets(const std::vector<VertexId>& targets) const {
+  if (!usable_) return;
+  const std::uint64_t column_bytes = n_ * sizeof(std::uint32_t);
+  std::unique_lock lock(mutex_);
+
+  std::vector<VertexId> pending;
+  std::vector<Column> pending_cols;
+  std::uint64_t denied = 0;
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    std::vector<std::uint32_t*> out;
+    out.reserve(pending_cols.size());
+    for (const Column& c : pending_cols) out.push_back(c.get());
+    bfs_block(pending, out);
+    for (std::size_t m = 0; m < pending.size(); ++m) {
+      columns_.emplace(pending[m], std::move(pending_cols[m]));
+      column_bytes_ += column_bytes;
+    }
+    obs::global_count("graph.distance_oracle.columns_built", pending.size());
+    pending.clear();
+    pending_cols.clear();
+  };
+
+  for (const VertexId t : targets) {
+    if (t >= n_ || columns_.contains(t)) continue;
+    if (std::find(pending.begin(), pending.end(), t) != pending.end()) continue;
+    if (column_bytes_ + (pending.size() + 1) * column_bytes > column_budget_bytes_) {
+      ++denied;
+      continue;
+    }
+    pending.push_back(t);
+    pending_cols.emplace_back(new std::uint32_t[n_]);
+    if (pending.size() == 64) flush();
+  }
+  flush();
+  if (denied > 0) obs::global_count("graph.distance_oracle.budget_denials", denied);
+}
+
+const std::uint32_t* DistanceOracle::distances_to(VertexId target) const {
+  if (!usable_) return nullptr;
+  std::shared_lock lock(mutex_);
+  const auto it = columns_.find(target);
+  if (it == columns_.end()) {
+    obs::global_count("graph.distance_oracle.column_misses");
+    return nullptr;
+  }
+  obs::global_count("graph.distance_oracle.column_hits");
+  return it->second.get();
+}
+
+std::uint64_t DistanceOracle::lower_bound(VertexId u, VertexId v) const {
+  if (!usable_ || u == v) return 0;
+  std::uint64_t best = 0;
+  for (const Column& col : landmark_columns_) {
+    const std::uint32_t du = col[u];
+    const std::uint32_t dv = col[v];
+    const bool far_u = du == unreachable_;
+    const bool far_v = dv == unreachable_;
+    if (far_u != far_v) return n_;  // landmark reaches one side only: disconnected
+    if (far_u) continue;            // landmark sees neither — no information
+    const std::uint32_t diff = du > dv ? du - dv : dv - du;
+    best = std::max<std::uint64_t>(best, diff);
+  }
+  return best;
+}
+
+std::size_t DistanceOracle::num_columns() const {
+  std::shared_lock lock(mutex_);
+  return columns_.size();
+}
+
+}  // namespace faultroute

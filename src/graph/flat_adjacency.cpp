@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "graph/distance_oracle.hpp"
 #include "obs/counter_registry.hpp"
 
 namespace faultroute {
@@ -35,6 +36,14 @@ FlatAdjacency::FlatAdjacency(const Topology& graph)
     }
   }
   num_edge_ids_ = index.num_edge_ids();
+}
+
+FlatAdjacency::~FlatAdjacency() = default;
+
+const DistanceOracle& FlatAdjacency::distance_oracle() const {
+  std::call_once(oracle_once_,
+                 [this] { oracle_ = std::make_unique<DistanceOracle>(*this); });
+  return *oracle_;
 }
 
 AdjacencyMode parse_adjacency_mode(const std::string& name) {

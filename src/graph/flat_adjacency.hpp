@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -8,6 +10,8 @@
 #include "graph/topology.hpp"
 
 namespace faultroute {
+
+class DistanceOracle;
 
 /// One-shot CSR (compressed-sparse-row) snapshot of a Topology's adjacency.
 ///
@@ -40,6 +44,14 @@ class FlatAdjacency {
   /// for offsets and edge ids). Prefer Topology::flat_adjacency(), which
   /// builds lazily once and caches. `graph` must outlive the snapshot.
   explicit FlatAdjacency(const Topology& graph);
+  ~FlatAdjacency();  // out of line: DistanceOracle is incomplete here
+
+  /// The snapshot's cached fault-free DistanceOracle (graph/distance_oracle
+  /// .hpp), built lazily on first request exactly like
+  /// Topology::channel_index(); subsequent calls return the same instance,
+  /// so landmark and exact-column work is shared by every router, p-value,
+  /// and trial that routes over this topology. Thread-safe.
+  [[nodiscard]] const DistanceOracle& distance_oracle() const;
 
   [[nodiscard]] const Topology& graph() const { return *graph_; }
   [[nodiscard]] std::uint64_t num_vertices() const { return num_vertices_; }
@@ -90,6 +102,11 @@ class FlatAdjacency {
   std::vector<VertexId> neighbors_;       // per channel
   std::vector<EdgeKey> keys_;             // per channel
   std::vector<std::uint32_t> edge_ids_;   // per channel
+
+  // Lazy distance-oracle cache (the once_flag makes the snapshot
+  // non-copyable, which is right: it is always owned by its Topology).
+  mutable std::once_flag oracle_once_;
+  mutable std::unique_ptr<DistanceOracle> oracle_;
 };
 
 /// Which adjacency backend a hot path resolves queries through. A pure A/B

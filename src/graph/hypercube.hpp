@@ -47,6 +47,8 @@ class Hypercube final : public Topology {
   /// Shortest path flipping the differing bits in ascending bit order.
   [[nodiscard]] std::vector<VertexId> shortest_path(VertexId u, VertexId v) const override;
 
+  [[nodiscard]] bool has_closed_form_metric() const override { return true; }
+
   [[nodiscard]] int dimension() const { return n_; }
 
  private:

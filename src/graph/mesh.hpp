@@ -39,6 +39,8 @@ class Mesh final : public Topology {
   /// Axis-by-axis monotone shortest path.
   [[nodiscard]] std::vector<VertexId> shortest_path(VertexId u, VertexId v) const override;
 
+  [[nodiscard]] bool has_closed_form_metric() const override { return true; }
+
   [[nodiscard]] std::string vertex_label(VertexId v) const override;
 
   [[nodiscard]] int dimension() const { return dim_; }

@@ -4,10 +4,29 @@
 #include <queue>
 #include <unordered_map>
 
+#include "graph/bfs_scratch.hpp"
 #include "graph/channel_index.hpp"
 #include "graph/flat_adjacency.hpp"
 
 namespace faultroute {
+
+namespace {
+
+/// Dense scratch is worth allocating only when the vertex-indexed arrays fit
+/// comfortably in memory; gigantic implicit families (which override the
+/// metric anyway) keep the hash path below.
+constexpr std::uint64_t kDenseBfsBudgetVertices = 1ull << 26;
+
+/// The default metric's own scratch, distinct from detail::bfs_scratch():
+/// the percolation analyses hold live epochs in that instance across calls
+/// that may re-enter distance()/shortest_path(), and sharing one epoch
+/// counter would silently invalidate their marks mid-sweep.
+detail::BfsScratch& metric_scratch() {
+  static thread_local detail::BfsScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 Topology::Topology() = default;
 Topology::Topology(const Topology&) {}
@@ -27,7 +46,32 @@ const FlatAdjacency& Topology::flat_adjacency() const {
 
 std::uint64_t Topology::distance(VertexId u, VertexId v) const {
   if (u == v) return 0;
-  // Plain BFS over the implicit adjacency. Unreachable => num_vertices().
+  const std::uint64_t n = num_vertices();
+  if (n <= kDenseBfsBudgetVertices) {
+    // Epoch-stamped dense BFS: same FIFO slot-order traversal as the hash
+    // path below, so the two tiers return identical values; "clearing"
+    // between calls is one epoch increment, and the scratch arrays are
+    // pooled per thread (zero allocation in steady state).
+    detail::BfsScratch& scratch = metric_scratch();
+    scratch.begin(n);
+    scratch.mark(u);
+    scratch.dist_queue.emplace_back(u, 0);
+    std::size_t head = 0;
+    while (head < scratch.dist_queue.size()) {
+      const auto [x, dx] = scratch.dist_queue[head++];
+      const int deg = degree(x);
+      for (int i = 0; i < deg; ++i) {
+        const VertexId y = neighbor(x, i);
+        if (scratch.seen(y)) continue;
+        if (y == v) return dx + 1;
+        scratch.mark(y);
+        scratch.dist_queue.emplace_back(y, dx + 1);
+      }
+    }
+    return n;
+  }
+  // Hash BFS over the implicit adjacency for graphs too large for dense
+  // vertex-indexed scratch. Unreachable => num_vertices().
   std::unordered_map<VertexId, std::uint64_t> dist;
   std::queue<VertexId> queue;
   dist.emplace(u, 0);
@@ -45,11 +89,46 @@ std::uint64_t Topology::distance(VertexId u, VertexId v) const {
       queue.push(y);
     }
   }
-  return num_vertices();
+  return n;
 }
 
 std::vector<VertexId> Topology::shortest_path(VertexId u, VertexId v) const {
   if (u == v) return {u};
+  const std::uint64_t n = num_vertices();
+  if (n <= kDenseBfsBudgetVertices) {
+    // Dense tier, traversal-order-identical to the hash tier below (and to
+    // the pre-dense implementation), so the *same* shortest path comes back
+    // regardless of graph size — landmark routing's path identity depends
+    // on it.
+    detail::BfsScratch& scratch = metric_scratch();
+    scratch.begin(n);
+    scratch.mark(u, u);
+    scratch.queue.push_back(u);
+    std::size_t head = 0;
+    bool found = false;
+    while (head < scratch.queue.size() && !found) {
+      const VertexId x = scratch.queue[head++];
+      const int deg = degree(x);
+      for (int i = 0; i < deg; ++i) {
+        const VertexId y = neighbor(x, i);
+        if (scratch.seen(y)) continue;
+        scratch.mark(y, x);
+        if (y == v) {
+          found = true;
+          break;
+        }
+        scratch.queue.push_back(y);
+      }
+    }
+    if (!found) return {};
+    std::vector<VertexId> path;
+    for (VertexId x = v;; x = scratch.parent[x]) {
+      path.push_back(x);
+      if (x == u) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
   std::unordered_map<VertexId, VertexId> parent;
   std::queue<VertexId> queue;
   parent.emplace(u, u);

@@ -83,6 +83,14 @@ class Topology {
   /// Default: BFS (small graphs only). Returns num_vertices() if unreachable.
   [[nodiscard]] virtual std::uint64_t distance(VertexId u, VertexId v) const;
 
+  /// True iff this topology answers distance() in O(1)-ish closed form
+  /// (hypercube Hamming distance, mesh L1, complete graph). Families that
+  /// fall back to the default BFS return false; callers like the routing
+  /// phase use this to decide whether precomputing a distance-oracle column
+  /// (graph/distance_oracle.hpp) is worth anything. Purely advisory: the
+  /// answer never changes any distance value.
+  [[nodiscard]] virtual bool has_closed_form_metric() const { return false; }
+
   /// Some shortest path from u to v in the fault-free topology, as a vertex
   /// sequence beginning with u and ending with v. Default: BFS.
   /// Returns an empty vector if v is unreachable from u.

@@ -5,7 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "percolation/bfs_scratch.hpp"
+#include "graph/bfs_scratch.hpp"
 
 namespace faultroute {
 

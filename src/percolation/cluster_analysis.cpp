@@ -4,7 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include "percolation/bfs_scratch.hpp"
+#include "graph/bfs_scratch.hpp"
 
 namespace faultroute {
 

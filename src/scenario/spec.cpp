@@ -126,11 +126,13 @@ void apply_scenario_assignments(ScenarioSpec& spec, const std::string& text) {
       spec.max_steps = parse_u64(key, value);
     } else if (key == "adjacency") {
       spec.adjacency = value;
+    } else if (key == "frontier") {
+      spec.frontier = value;
     } else {
       throw std::invalid_argument(
           "scenario: unknown key '" + key +
           "' (known: name, topology, router, workload, p, messages, trials, seed, threads, "
-          "capacity, budget, max_steps, adjacency)");
+          "capacity, budget, max_steps, adjacency, frontier)");
     }
   }
 }
@@ -150,6 +152,9 @@ void validate_scenario(const ScenarioSpec& spec) {
   if (spec.edge_capacity == 0) fail("capacity", "must be >= 1");
   if (spec.adjacency != "flat" && spec.adjacency != "implicit" && spec.adjacency != "auto") {
     fail("adjacency", "must be 'flat', 'implicit', or 'auto', got '" + spec.adjacency + "'");
+  }
+  if (spec.frontier != "batch" && spec.frontier != "permsg") {
+    fail("frontier", "must be 'batch' or 'permsg', got '" + spec.frontier + "'");
   }
   // The runner buffers one CellResult per cell (a few hundred bytes each) to
   // report in deterministic order, so cap the cross-product well below

@@ -29,6 +29,7 @@ namespace faultroute::scenario {
 ///   budget    = 0                        # probe budget per message (0 = off)
 ///   max_steps = 0                        # delivery-step safety cap (0 = off)
 ///   adjacency = auto                     # flat | implicit | auto (CSR snapshot A/B)
+///   frontier  = batch                    # batch | permsg (routing-phase A/B)
 struct ScenarioSpec {
   std::string name = "scenario";
   std::vector<std::string> topologies;
@@ -46,6 +47,10 @@ struct ScenarioSpec {
   /// or "auto" — see graph/flat_adjacency.hpp). Results are bit-identical
   /// across backends; this key exists for A/B timing and differential runs.
   std::string adjacency = "auto";
+  /// Routing-phase frontier scheduling of every cell ("batch" or "permsg" —
+  /// see FrontierMode in traffic/traffic_engine.hpp). Results are
+  /// bit-identical across modes; the key exists for the same A/B purposes.
+  std::string frontier = "batch";
 
   /// Cells of the cross-product (topologies × p × routers × workloads ×
   /// trials). Cells are indexed row-major in that key order, trials fastest;

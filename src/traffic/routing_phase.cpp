@@ -1,10 +1,15 @@
 #include "traffic/routing_phase.hpp"
 
+#include <atomic>
 #include <memory>
 #include <optional>
 
 #include "core/parallel.hpp"
+#include "core/routers/bidirectional_router.hpp"
+#include "core/routers/flood_router.hpp"
+#include "graph/distance_oracle.hpp"
 #include "obs/run_metrics.hpp"
+#include "traffic/frontier_search.hpp"
 #include "traffic/shared_probe_cache.hpp"
 
 namespace faultroute::detail {
@@ -18,10 +23,10 @@ namespace {
 /// here in make_body and re-epoched per message, so steady-state routing
 /// allocates nothing.
 void route_all(const Topology& graph, const EdgeSampler& env,
-               const RouterFactory& make_router,
+               const RouterFactory& make_router, const std::shared_ptr<Router>& prototype,
                const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
-               const FlatAdjacency* flat, std::vector<MessageOutcome>& outcomes,
-               std::vector<Path>& paths) {
+               const FlatAdjacency* flat, const DistanceOracle* oracle,
+               std::vector<MessageOutcome>& outcomes, std::vector<Path>& paths) {
   // Instrumentation is resolved once, outside the loop: counter ids here,
   // then one per-worker span plus two plain-store adds per message inside.
   obs::CounterRegistry* counters =
@@ -32,8 +37,15 @@ void route_all(const Topology& graph, const EdgeSampler& env,
       counters != nullptr ? counters->id("traffic.routing.bfs_expansions") : 0;
   obs::PhaseProfiler* profiler =
       config.metrics != nullptr ? &config.metrics->profiler() : nullptr;
+  // When frontier classification already constructed one router, the first
+  // worker to start adopts it rather than paying a second construction
+  // (landmark tables and the like live in router ctors). Factories hand out
+  // identically-behaving routers — the same property that makes the
+  // work-stealing loop legal — so which worker adopts it cannot matter.
+  std::atomic<Router*> unclaimed{prototype.get()};
   parallel_index_loop(messages.size(), config.threads, [&] {
-    const std::shared_ptr<Router> router = make_router();
+    const std::shared_ptr<Router> router =
+        unclaimed.exchange(nullptr) != nullptr ? prototype : make_router();
     const std::shared_ptr<ProbeArena> arena =
         config.dense_probe_state ? std::make_shared<ProbeArena>() : nullptr;
     // The worker's whole routing stint is one span on its own track; the
@@ -51,7 +63,7 @@ void route_all(const Topology& graph, const EdgeSampler& env,
         return;
       }
       ProbeContext ctx(graph, env, msg.source, router->required_mode(),
-                       config.probe_budget, arena.get(), flat);
+                       config.probe_budget, arena.get(), flat, oracle);
       std::optional<Path> path;
       try {
         path = router->route(ctx, msg.source, msg.target);
@@ -106,9 +118,43 @@ std::vector<RoutedJourney> route_and_validate(
       env = &sharded_cache.emplace(sampler);
     }
   }
+  // FrontierMode::kBatch (flat path only): classify the batch's router via
+  // one prototype — factories hand out identically-behaving routers, that is
+  // what makes thread-parallel routing legal in the first place. Flood and
+  // bidirectional batches go through the block executor; metric routers stay
+  // per-message but read precomputed oracle columns instead of running one
+  // BFS per graph.distance call (closed-form metrics need neither). All
+  // three treatments are pure accelerations — bit-identical outcomes.
+  const DistanceOracle* oracle = nullptr;
+  std::optional<BatchSearchKind> batch_kind;
+  bool probe_target_first = false;
+  std::shared_ptr<Router> prototype;  // adopted by route_all's first worker
+  if (config.frontier == FrontierMode::kBatch && flat != nullptr) {
+    prototype = make_router();
+    if (const auto* flood = dynamic_cast<const FloodRouter*>(prototype.get())) {
+      batch_kind = BatchSearchKind::kFlood;
+      probe_target_first = flood->probe_target_first();
+    } else if (dynamic_cast<const BidirectionalBfsRouter*>(prototype.get()) != nullptr) {
+      batch_kind = BatchSearchKind::kBidirectional;
+    } else if (prototype->uses_distance_metric() && !graph.has_closed_form_metric()) {
+      const obs::PhaseProfiler::Scope prewarm_scope(profiler, "oracle-prewarm");
+      const DistanceOracle& cached = flat->distance_oracle();
+      std::vector<VertexId> targets;
+      targets.reserve(messages.size());
+      for (const TrafficMessage& msg : messages) targets.push_back(msg.target);
+      cached.ensure_targets(targets);  // dedups; first-appearance order
+      oracle = &cached;
+    }
+  }
   {
     const obs::PhaseProfiler::Scope route_scope(profiler, "route");
-    route_all(graph, *env, make_router, messages, config, flat, result.outcomes, paths);
+    if (batch_kind) {
+      route_frontier_batched(graph, *env, messages, config, *flat, *batch_kind,
+                             probe_target_first, result.outcomes, paths);
+    } else {
+      route_all(graph, *env, make_router, prototype, messages, config, flat, oracle,
+                result.outcomes, paths);
+    }
   }
   // Hit/miss totals are exact, not approximate, in this pipeline: the
   // per-message memo means each cache ever sees one lookup per (message,

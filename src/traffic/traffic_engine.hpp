@@ -4,6 +4,8 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "analysis/table.hpp"
 #include "core/experiment.hpp"  // RouterFactory
 #include "core/path.hpp"
@@ -18,6 +20,28 @@ namespace faultroute {
 namespace obs {
 class RunMetrics;
 }
+
+/// How the routing phase schedules per-message searches. A pure A/B switch
+/// in the mould of dense_probe_state / AdjacencyMode: every outcome,
+/// aggregate, and counter is bit-identical across modes (held by
+/// tests/test_frontier_search.cpp and the bench_frontier cross-check).
+enum class FrontierMode {
+  /// Batched frontier search (the fast default): flood and bidirectional
+  /// messages run through the block executor in src/traffic/frontier_search
+  /// .cpp (64 messages share bitset probe-memo words per worker), and metric
+  /// routers (greedy / best-first / hybrid) read precomputed distance
+  /// columns from the topology's cached DistanceOracle instead of running
+  /// one BFS per graph.distance call.
+  kBatch,
+  /// One independent search per message, no oracle prewarm — the original
+  /// code path, kept as the differential baseline.
+  kPerMessage,
+};
+
+/// Parses "batch" / "permsg" (throws std::invalid_argument otherwise); the
+/// inverse of frontier_mode_name.
+[[nodiscard]] FrontierMode parse_frontier_mode(const std::string& name);
+[[nodiscard]] std::string frontier_mode_name(FrontierMode mode);
 
 /// Optional wall-clock instrumentation of a traffic run (see
 /// TrafficConfig::timings). Purely observational: simulation results are
@@ -62,6 +86,11 @@ struct TrafficConfig {
   /// kAuto's materialization budget: snapshot topologies with at most this
   /// many vertices (~20 bytes per directed channel once, cached).
   std::uint64_t flat_budget_vertices = kDefaultFlatBudgetVertices;
+  /// Routing-phase scheduling strategy (see FrontierMode above). kBatch is
+  /// a pure accelerator — outcomes are bit-identical to kPerMessage — and
+  /// only engages on the flat adjacency path; implicit runs fall back to
+  /// per-message search regardless.
+  FrontierMode frontier = FrontierMode::kBatch;
   /// Verify every returned path against the environment; invalid paths are
   /// counted and the message dropped from the delivery simulation.
   bool verify_paths = true;

@@ -406,6 +406,11 @@ int cmd_traffic(const Args& args) {
   // the routing phase — the third A/B axis next to --engine/--probe-state.
   config.adjacency = adjacency_of(args);
 
+  // --frontier batch|permsg: batched frontier search + distance-oracle
+  // prewarm vs one independent search per message — the fourth A/B axis.
+  // Results identical (parse_frontier_mode throws on anything else).
+  config.frontier = parse_frontier_mode(args.get("frontier", "batch"));
+
   // --metrics/--trace attach the observability sink; the event engine also
   // records the bounded per-step delivery time-series into the report
   // (--trace-samples caps its memory; the reference engine doesn't sample).
@@ -426,7 +431,8 @@ int cmd_traffic(const Args& args) {
   traffic_table(result).print(graph->name() + "  p=" + Table::fmt(p, 3) + "  router=" +
                               router_name + "  workload=" + workload_name(workload.kind) +
                               "  engine=" + engine + "  adjacency=" +
-                              adjacency_mode_name(config.adjacency));
+                              adjacency_mode_name(config.adjacency) + "  frontier=" +
+                              frontier_mode_name(config.frontier));
   sink.finish();
   return 0;
 }
@@ -509,6 +515,8 @@ void print_usage() {
             << "                   --probe-state dense|hash (routing backend A/B)\n"
             << "                   --adjacency flat|implicit|auto (CSR snapshot A/B;\n"
             << "                     also on components/threshold/permutation)\n"
+            << "                   --frontier batch|permsg (batched frontier search +\n"
+            << "                     distance-oracle prewarm A/B)\n"
             << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
             << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
             << "                   [--cell-timings true|false]\n"
