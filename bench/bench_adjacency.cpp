@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "obs/schemas.hpp"
 #include "obs/build_info.hpp"
 #include "graph/flat_adjacency.hpp"
 #include "percolation/chemical_distance.hpp"
@@ -343,7 +344,8 @@ std::string json_report(const std::vector<BenchResult>& results, const BenchOpti
   std::ostringstream out;
   out.precision(6);
   out << std::fixed;
-  out << "{\"schema\":\"faultroute.bench.adjacency.v1\",\"schema_version\":1"
+  out << "{\"schema\":\"" << obs::schemas::kBenchAdjacency
+      << "\",\"schema_version\":" << obs::schemas::kBenchVersion
       << ",\"provenance\":" << obs::provenance_json("bench_adjacency")
       << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"benchmarks\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "obs/schemas.hpp"
 #include "obs/build_info.hpp"
 #include "core/routers/greedy_router.hpp"
 #include "random/rng.hpp"
@@ -203,7 +204,8 @@ std::string json_report(const std::vector<BenchResult>& results, const BenchOpti
   std::ostringstream out;
   out.precision(6);
   out << std::fixed;
-  out << "{\"schema\":\"faultroute.bench.delivery.v1\",\"schema_version\":1"
+  out << "{\"schema\":\"" << obs::schemas::kBenchDelivery
+      << "\",\"schema_version\":" << obs::schemas::kBenchVersion
       << ",\"provenance\":" << obs::provenance_json("bench_delivery")
       << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"seed\":" << options.seed
       << ",\"benchmarks\":[";
@@ -229,18 +231,20 @@ std::string json_report(const std::vector<BenchResult>& results, const BenchOpti
 }
 
 int run(const BenchOptions& options) {
-  const std::vector<BenchCase> cases =
-      options.quick
-          ? std::vector<BenchCase>{
-                {"poisson-long-horizon", "torus:2:16", "poisson:1", 0.85, 3000},
-                {"hotspot-drain", "mesh:1:64", "hotspot:0", 1.0, 2000},
-                {"permutation-burst", "hypercube:9", "permutation", 0.6, 2048},
-            }
-          : std::vector<BenchCase>{
-                {"poisson-long-horizon", "torus:2:16", "poisson:1", 0.85, 30000},
-                {"hotspot-drain", "mesh:1:64", "hotspot:0", 1.0, 16000},
-                {"permutation-burst", "hypercube:10", "permutation", 0.6, 8192},
-            };
+  std::vector<BenchCase> cases;
+  if (options.quick) {
+    cases = {
+        {"poisson-long-horizon", "torus:2:16", "poisson:1", 0.85, 3000},
+        {"hotspot-drain", "mesh:1:64", "hotspot:0", 1.0, 2000},
+        {"permutation-burst", "hypercube:9", "permutation", 0.6, 2048},
+    };
+  } else {
+    cases = {
+        {"poisson-long-horizon", "torus:2:16", "poisson:1", 0.85, 30000},
+        {"hotspot-drain", "mesh:1:64", "hotspot:0", 1.0, 16000},
+        {"permutation-burst", "hypercube:10", "permutation", 0.6, 8192},
+    };
+  }
 
   std::vector<BenchResult> results;
   results.reserve(cases.size());

@@ -37,6 +37,7 @@
 
 #include "analysis/table.hpp"
 #include "graph/flat_adjacency.hpp"
+#include "obs/schemas.hpp"
 #include "obs/build_info.hpp"
 #include "random/rng.hpp"
 #include "scenario/spec.hpp"
@@ -249,7 +250,8 @@ std::string json_report(const std::vector<BenchResult>& results, const BenchOpti
   std::ostringstream out;
   out.precision(6);
   out << std::fixed;
-  out << "{\"schema\":\"faultroute.bench.frontier.v1\",\"schema_version\":1"
+  out << "{\"schema\":\"" << obs::schemas::kBenchFrontier
+      << "\",\"schema_version\":" << obs::schemas::kBenchVersion
       << ",\"provenance\":" << obs::provenance_json("bench_frontier")
       << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"benchmarks\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {

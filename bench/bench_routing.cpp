@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "obs/schemas.hpp"
 #include "obs/build_info.hpp"
 #include "random/rng.hpp"
 #include "scenario/spec.hpp"
@@ -231,7 +232,8 @@ std::string json_report(const std::vector<BenchResult>& results, const BenchOpti
   std::ostringstream out;
   out.precision(6);
   out << std::fixed;
-  out << "{\"schema\":\"faultroute.bench.routing.v1\",\"schema_version\":1"
+  out << "{\"schema\":\"" << obs::schemas::kBenchRouting
+      << "\",\"schema_version\":" << obs::schemas::kBenchVersion
       << ",\"provenance\":" << obs::provenance_json("bench_routing")
       << ",\"quick\":" << (options.quick ? "true" : "false") << ",\"benchmarks\":[";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the project's own C++ sources and gates on warnings.
+
+Usage: run_clang_tidy.py [--build-dir BUILD] [--jobs N] [FILES...]
+
+Drives clang-tidy from the compile database (`compile_commands.json`,
+exported by CMake unconditionally) so every file is checked with its real
+flags. Scope is the code we own — src/, tools/, bench/, tests/ — never
+third_party/ or generated files. With explicit FILES arguments only those
+files are checked (useful for pre-commit on a diff).
+
+Exit codes:
+  0  clean (or clang-tidy not installed — reported, skipped; CI installs it,
+     so a local machine without clang should not fail the world)
+  1  clang-tidy produced diagnostics
+  2  usage / environment error (missing compile database)
+
+The check selection lives in .clang-tidy at the repo root; this script adds
+no -checks= overrides so editors, CI, and this runner all agree.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OWNED_DIRS = ("src", "tools", "bench", "tests")
+
+
+def find_clang_tidy():
+    """Newest clang-tidy on PATH, or None."""
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(20, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def owned_sources(build_dir):
+    """Project-owned translation units from the compile database, sorted."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(f"run_clang_tidy: no {db_path}; configure cmake first "
+              "(compile commands are exported by default)", file=sys.stderr)
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as handle:
+        database = json.load(handle)
+    files = set()
+    for entry in database:
+        path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+        rel = os.path.relpath(path, REPO_ROOT)
+        if rel.split(os.sep, 1)[0] in OWNED_DIRS:
+            files.add(path)
+    return sorted(files)
+
+
+def run_one(clang_tidy, build_dir, path):
+    """Returns (path, returncode, combined output)."""
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True, check=False)
+    # clang-tidy prints a suppressed-warnings tally on stderr even when
+    # clean; only surface stderr when the run actually failed.
+    output = proc.stdout
+    if proc.returncode != 0:
+        output += proc.stderr
+    return path, proc.returncode, output.strip()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("files", nargs="*",
+                        help="restrict the run to these source files")
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy()
+    if clang_tidy is None:
+        print("run_clang_tidy: clang-tidy not installed; skipping "
+              "(CI installs it — this is not a pass)", file=sys.stderr)
+        return 0
+
+    sources = owned_sources(args.build_dir)
+    if args.files:
+        wanted = {os.path.normpath(os.path.abspath(f)) for f in args.files}
+        sources = [s for s in sources if s in wanted]
+        missing = wanted - set(sources)
+        for path in sorted(missing):
+            print(f"run_clang_tidy: {path} not in compile database; skipped",
+                  file=sys.stderr)
+    if not sources:
+        print("run_clang_tidy: nothing to check", file=sys.stderr)
+        return 0
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(run_one, clang_tidy, args.build_dir, s)
+                   for s in sources]
+        for future in concurrent.futures.as_completed(futures):
+            path, code, output = future.result()
+            rel = os.path.relpath(path, REPO_ROOT)
+            if code != 0:
+                failures += 1
+                print(f"--- {rel}")
+                print(output)
+            else:
+                print(f"ok  {rel}")
+    if failures:
+        print(f"run_clang_tidy: {failures}/{len(sources)} files with "
+              "diagnostics", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: {len(sources)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

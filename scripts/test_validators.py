@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Smoke tests for the CI validator scripts themselves.
+
+Usage: python3 scripts/test_validators.py  (or via unittest discovery)
+
+The validators (check_bench_schema.py, check_trace.py, check_docs_links.py)
+are the last line of defence for the machine-readable CI surfaces, so they
+get the same treatment as the linter: every one is fed a known-good input
+(must accept) and a set of seeded-invalid inputs (must reject with a
+diagnostic). A validator that silently accepts garbage is worse than no
+validator — CI runs this file before trusting any of them.
+
+No third-party dependencies; stdlib unittest + subprocess only.
+"""
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPTS = pathlib.Path(__file__).resolve().parent
+PYTHON = sys.executable or "python3"
+
+
+def run_script(script, *argv):
+    """Runs scripts/<script> with argv; returns CompletedProcess."""
+    return subprocess.run(
+        [PYTHON, str(SCRIPTS / script), *[str(a) for a in argv]],
+        capture_output=True, text=True, check=False)
+
+
+def valid_delivery_report():
+    return {
+        "schema": "faultroute.bench.delivery.v1",
+        "schema_version": 1,
+        "quick": True,
+        "seed": 2024,
+        "benchmarks": [{
+            "name": "hypercube_uniform",
+            "topology": "hypercube:10",
+            "workload": "random-pairs",
+            "p": 0.55,
+            "messages": 4096,
+            "capacity": 1,
+            "routed": 4000,
+            "delivered": 3990,
+            "makespan": 181,
+            "sim_steps": 181,
+            "transmissions": 30000,
+            "channels": 10240,
+            "routing_ms": 12.5,
+            "event_ms": 3.25,
+            "reference_ms": 40.0,
+            "event_delivery_ms": 3.25,
+            "reference_delivery_ms": 40.0,
+            "speedup": 12.3,
+            "end_to_end_speedup": 3.4,
+            "identical": True,
+        }],
+    }
+
+
+def valid_frontier_report():
+    return {
+        "schema": "faultroute.bench.frontier.v1",
+        "schema_version": 1,
+        "quick": True,
+        "benchmarks": [{
+            "name": "debruijn_flood",
+            "cells": 6,
+            "messages": 4096,
+            "routed": 4001,
+            "delivered": 3999,
+            "total_distinct_probes": 90000,
+            "unique_edges_probed": 41000,
+            "batch_routing_ms": 8.0,
+            "permsg_routing_ms": 14.0,
+            "speedup": 1.75,
+            "identical": True,
+        }],
+    }
+
+
+def valid_metrics_report():
+    return {
+        "schema": "faultroute.metrics.v1",
+        "schema_version": 1,
+        "command": "route",
+        "provenance": {
+            "git_hash": "deadbeef",
+            "compiler": "g++ 12",
+            "build_type": "Release",
+            "generated_by": "faultroute",
+        },
+        "counters": {"traffic.routing.messages": 64},
+        "phases": [{"path": "route", "count": 1, "total_ms": 1.5}],
+        "tracks": [{"id": 0, "name": "main"}],
+    }
+
+
+def valid_trace():
+    return {
+        "traceEvents": [
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 0,
+             "args": {"name": "main"}},
+            {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+             "args": {"name": "worker-0"}},
+            {"ph": "X", "name": "routing", "ts": 0, "dur": 120,
+             "pid": 1, "tid": 1},
+            {"ph": "X", "name": "delivery", "ts": 120, "dur": 80,
+             "pid": 1, "tid": 0},
+        ],
+    }
+
+
+class ValidatorCase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory(prefix="faultroute-validators-")
+        self.tmp = pathlib.Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write_json(self, name, payload):
+        path = self.tmp / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def assert_accepts(self, script, path):
+        proc = run_script(script, path)
+        self.assertEqual(
+            proc.returncode, 0,
+            f"{script} rejected a valid input:\n{proc.stdout}{proc.stderr}")
+
+    def assert_rejects(self, script, path, needle):
+        proc = run_script(script, path)
+        self.assertNotEqual(
+            proc.returncode, 0,
+            f"{script} accepted a seeded-invalid input ({needle})")
+        self.assertIn(needle, proc.stdout + proc.stderr)
+
+
+class BenchSchemaValidator(ValidatorCase):
+    SCRIPT = "check_bench_schema.py"
+
+    def test_accepts_valid_delivery_report(self):
+        self.assert_accepts(self.SCRIPT, self.write_json("d.json", valid_delivery_report()))
+
+    def test_accepts_valid_frontier_report(self):
+        self.assert_accepts(self.SCRIPT, self.write_json("f.json", valid_frontier_report()))
+
+    def test_accepts_valid_metrics_report(self):
+        self.assert_accepts(self.SCRIPT, self.write_json("m.json", valid_metrics_report()))
+
+    def test_rejects_missing_field(self):
+        report = valid_delivery_report()
+        del report["benchmarks"][0]["makespan"]
+        self.assert_rejects(self.SCRIPT, self.write_json("d.json", report), "makespan")
+
+    def test_rejects_engine_disagreement(self):
+        report = valid_delivery_report()
+        report["benchmarks"][0]["identical"] = False
+        self.assert_rejects(self.SCRIPT, self.write_json("d.json", report), "identical")
+
+    def test_rejects_delivered_exceeding_routed(self):
+        report = valid_frontier_report()
+        report["benchmarks"][0]["delivered"] = report["benchmarks"][0]["routed"] + 1
+        self.assert_rejects(self.SCRIPT, self.write_json("f.json", report),
+                            "delivered > routed")
+
+    def test_rejects_wrong_schema_version(self):
+        report = valid_frontier_report()
+        report["schema_version"] = 2
+        self.assert_rejects(self.SCRIPT, self.write_json("f.json", report),
+                            "schema_version")
+
+    def test_rejects_bool_masquerading_as_int(self):
+        report = valid_frontier_report()
+        report["benchmarks"][0]["messages"] = True
+        self.assert_rejects(self.SCRIPT, self.write_json("f.json", report), "messages")
+
+    def test_rejects_metrics_without_provenance(self):
+        report = valid_metrics_report()
+        del report["provenance"]
+        self.assert_rejects(self.SCRIPT, self.write_json("m.json", report), "provenance")
+
+    def test_rejects_negative_counter(self):
+        report = valid_metrics_report()
+        report["counters"]["traffic.routing.messages"] = -1
+        self.assert_rejects(self.SCRIPT, self.write_json("m.json", report),
+                            "traffic.routing.messages")
+
+    def test_rejects_unparseable_file(self):
+        path = self.tmp / "garbage.json"
+        path.write_text("{not json", encoding="utf-8")
+        self.assert_rejects(self.SCRIPT, path, "cannot parse")
+
+
+class TraceValidator(ValidatorCase):
+    SCRIPT = "check_trace.py"
+
+    def test_accepts_valid_trace(self):
+        self.assert_accepts(self.SCRIPT, self.write_json("t.json", valid_trace()))
+
+    def test_rejects_trace_without_spans(self):
+        trace = valid_trace()
+        trace["traceEvents"] = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        self.assert_rejects(self.SCRIPT, self.write_json("t.json", trace),
+                            "no complete ('X') events")
+
+    def test_rejects_span_on_unlabelled_track(self):
+        trace = valid_trace()
+        trace["traceEvents"][2]["tid"] = 99
+        self.assert_rejects(self.SCRIPT, self.write_json("t.json", trace),
+                            "unlabelled")
+
+    def test_rejects_negative_duration(self):
+        trace = valid_trace()
+        trace["traceEvents"][2]["dur"] = -1
+        self.assert_rejects(self.SCRIPT, self.write_json("t.json", trace),
+                            "negative")
+
+    def test_rejects_unknown_event_phase(self):
+        trace = valid_trace()
+        trace["traceEvents"].append({"ph": "B", "name": "begin", "ts": 0})
+        self.assert_rejects(self.SCRIPT, self.write_json("t.json", trace),
+                            "unexpected event phase")
+
+
+class DocsLinksValidator(ValidatorCase):
+    """check_docs_links.py anchors itself at <script>/../.., so the tests run
+    a copy of it from inside a synthetic repo tree."""
+
+    def fake_repo(self, readme, docs=None):
+        (self.tmp / "scripts").mkdir()
+        script = self.tmp / "scripts" / "check_docs_links.py"
+        shutil.copyfile(SCRIPTS / "check_docs_links.py", script)
+        (self.tmp / "README.md").write_text(readme, encoding="utf-8")
+        (self.tmp / "docs").mkdir()
+        for name, text in (docs or {}).items():
+            (self.tmp / "docs" / name).write_text(text, encoding="utf-8")
+        return script
+
+    def run_fake(self, script):
+        return subprocess.run([PYTHON, str(script)], capture_output=True,
+                              text=True, check=False)
+
+    def test_accepts_live_links(self):
+        script = self.fake_repo(
+            "See [the guide](docs/GUIDE.md) and [section](docs/GUIDE.md#part).\n"
+            "External [site](https://example.com) is skipped.\n",
+            docs={"GUIDE.md": "Back to [README](../README.md).\n"})
+        proc = self.run_fake(script)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_rejects_dead_link(self):
+        script = self.fake_repo("See [missing](docs/NOPE.md).\n")
+        proc = self.run_fake(script)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("DEAD LINK", proc.stdout)
+        self.assertIn("NOPE.md", proc.stdout)
+
+    def test_ignores_links_inside_code_fences(self):
+        script = self.fake_repo(
+            "Example output:\n\n```\n[not a link](docs/NOPE.md)\n```\n")
+        proc = self.run_fake(script)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -40,6 +40,7 @@ class HashMarks {
   bool emplace(VertexId v, VertexId value) { return map_.emplace(v, value).second; }
 
  private:
+  // lint:allow-hash(HashMarks IS the implicit-adjacency A/B fallback path)
   std::unordered_map<VertexId, VertexId> map_;
 };
 

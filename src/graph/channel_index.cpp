@@ -52,6 +52,7 @@ void ChannelIndex::build_edge_ids() const {
   // ascending id order. The hash map exists only during this build; the
   // steady-state structure is the flat edge_ids_ array.
   edge_ids_.resize(num_channels_);
+  // lint:allow-hash(one-shot build-time scratch; steady state is the flat array)
   std::unordered_map<EdgeKey, std::uint32_t> first_seen;
   first_seen.reserve(num_channels_ / 2 + 1);
   std::uint32_t next_id = 0;

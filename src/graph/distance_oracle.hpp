@@ -116,6 +116,7 @@ class DistanceOracle {
   // (unique_ptr arrays), so a pointer handed out under the shared lock
   // outlives any later rehash.
   mutable std::shared_mutex mutex_;
+  // lint:allow-hash(cold memo of sparse targets; hot path reads the columns)
   mutable std::unordered_map<VertexId, Column> columns_;
   mutable std::uint64_t column_bytes_ = 0;
 };

@@ -72,6 +72,7 @@ std::uint64_t Topology::distance(VertexId u, VertexId v) const {
   }
   // Hash BFS over the implicit adjacency for graphs too large for dense
   // vertex-indexed scratch. Unreachable => num_vertices().
+  // lint:allow-hash(fallback BFS for graphs past the dense-scratch budget)
   std::unordered_map<VertexId, std::uint64_t> dist;
   std::queue<VertexId> queue;
   dist.emplace(u, 0);
@@ -129,6 +130,7 @@ std::vector<VertexId> Topology::shortest_path(VertexId u, VertexId v) const {
     std::reverse(path.begin(), path.end());
     return path;
   }
+  // lint:allow-hash(fallback BFS for graphs past the dense-scratch budget)
   std::unordered_map<VertexId, VertexId> parent;
   std::queue<VertexId> queue;
   parent.emplace(u, u);

@@ -7,14 +7,15 @@
 #include "obs/counter_registry.hpp"
 #include "obs/delivery_sampler.hpp"
 #include "obs/phase_profiler.hpp"
+#include "obs/schemas.hpp"
 
 namespace faultroute::obs {
 
-/// Schema identifier of the --metrics JSON report. Bump whenever a field is
-/// added, removed, renamed, or its meaning/units change (same contract as
+/// Schema identifier of the --metrics JSON report. Defined in
+/// obs/schemas.hpp with the rest of the schema registry (same contract as
 /// the scenario and bench schemas; validated by scripts/check_bench_schema.py).
-inline constexpr int kMetricsSchemaVersion = 1;
-inline constexpr const char* kMetricsSchemaName = "faultroute.metrics.v1";
+inline constexpr int kMetricsSchemaVersion = schemas::kMetricsVersion;
+inline constexpr const char* kMetricsSchemaName = schemas::kMetrics;
 
 /// One run's observability state: a CounterRegistry, a PhaseProfiler, and an
 /// optional DeliverySampler, bundled so the engine threads a single nullable

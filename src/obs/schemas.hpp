@@ -1,0 +1,31 @@
+#pragma once
+
+namespace faultroute::obs::schemas {
+
+/// The single definition point for every `faultroute.*.vN` schema
+/// identifier the project emits. Downstream tooling (check_bench_schema.py,
+/// report diffing across PRs) dispatches on these strings, so they are part
+/// of the public contract: bump a version whenever a field of the
+/// corresponding report is added, removed, renamed, or its meaning/units
+/// change.
+///
+/// tools/lint/faultroute_lint.py enforces that no other C++ file spells a
+/// schema string out as a literal — emitters and validators must reference
+/// these constants, so a schema bump is one edit and grep finds every user.
+
+/// Scenario sweep reports (JSONL/CSV), emitted by scenario::Reporter.
+inline constexpr const char* kScenario = "faultroute.scenario.v3";
+inline constexpr int kScenarioVersion = 3;
+
+/// --metrics runtime-observability reports, emitted by obs::RunMetrics.
+inline constexpr const char* kMetrics = "faultroute.metrics.v1";
+inline constexpr int kMetricsVersion = 1;
+
+/// Bench A/B records (committed as BENCH_*.json at the repo root).
+inline constexpr const char* kBenchDelivery = "faultroute.bench.delivery.v1";
+inline constexpr const char* kBenchRouting = "faultroute.bench.routing.v1";
+inline constexpr const char* kBenchAdjacency = "faultroute.bench.adjacency.v1";
+inline constexpr const char* kBenchFrontier = "faultroute.bench.frontier.v1";
+inline constexpr int kBenchVersion = 1;
+
+}  // namespace faultroute::obs::schemas

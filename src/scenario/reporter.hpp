@@ -5,15 +5,17 @@
 #include <ostream>
 #include <string>
 
+#include "obs/schemas.hpp"
 #include "scenario/spec.hpp"
 
 namespace faultroute::scenario {
 
 /// Schema identifier stamped into every report so downstream tooling can
-/// diff result sets across PRs. Bump the version whenever a field is added,
-/// removed, renamed, or its meaning/units change.
-inline constexpr int kSchemaVersion = 3;
-inline constexpr const char* kSchemaName = "faultroute.scenario.v3";
+/// diff result sets across PRs. Defined in obs/schemas.hpp with the rest of
+/// the schema registry; bump the version whenever a field is added, removed,
+/// renamed, or its meaning/units change.
+inline constexpr int kSchemaVersion = obs::schemas::kScenarioVersion;
+inline constexpr const char* kSchemaName = obs::schemas::kScenario;
 
 /// One cell of a scenario's cross-product: the aggregate traffic metrics of
 /// one (topology, p, router, workload, trial) combination. Field meanings

@@ -85,9 +85,12 @@ TrafficResult run_traffic_reference(const Topology& graph, const EdgeSampler& sa
   // messages to their next channel queue (ordered by message id, so the
   // simulation is deterministic), then every channel transmits up to
   // `edge_capacity` messages, which arrive at the far endpoint next step.
+  // The differential oracle preserves the pre-rewrite containers verbatim.
+  // lint:allow-hash(retained legacy reference engine)
   std::unordered_map<ChannelKey, std::deque<std::uint32_t>, ChannelHash> queues;
   std::set<ChannelKey> busy;  // ordered: deterministic iteration
   std::map<std::uint64_t, std::vector<std::uint32_t>> admissions;  // time -> ids
+  // lint:allow-hash(retained legacy reference engine, see above)
   std::unordered_map<EdgeKey, std::uint64_t> edge_load;
 
   std::uint64_t in_flight = 0;

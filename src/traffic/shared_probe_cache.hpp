@@ -131,6 +131,7 @@ class ShardedProbeCache final : public EdgeSampler {
 
   struct Shard {
     mutable std::mutex mutex;
+    // lint:allow-hash(pre-rewrite A/B baseline, behaviour preserved deliberately)
     std::unordered_map<EdgeKey, bool> memo;
   };
 

@@ -93,7 +93,7 @@ TEST(FlatAdjacency, SnapshotIsCachedOnTheTopology) {
 }
 
 TEST(FlatAdjacency, EdgeIndexOfMatchesTopologyOverload) {
-  for (const std::string& spec : {"hypercube:5", "butterfly:2", "cycle_matching:64:7"}) {
+  for (const std::string spec : {"hypercube:5", "butterfly:2", "cycle_matching:64:7"}) {
     const auto graph = sim::make_topology(spec);
     const FlatAdjacency& flat = graph->flat_adjacency();
     Rng rng(11);
@@ -229,7 +229,7 @@ void check_flat_equals_implicit(const EquivalenceCase& spec) {
 
   // The acceptance bar: bit-identical under both thread counts, for both
   // probe-state backends.
-  for (const unsigned threads : {1u, 2u}) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
     for (const bool dense : {true, false}) {
       TrafficConfig config;
       config.threads = threads;

@@ -188,13 +188,16 @@ TEST(FrontierSearch, MatchesAcrossAdjacencyModes) {
 
 TEST(FrontierSearch, MatchesUnderThreadedRouting) {
   // Blocks are the parallel unit in batch mode; messages must not care which
-  // worker's block they land in.
-  check_batch_equals_permsg({"hypercube:8", "flood", "random-pairs", 0.5, 400},
-                            /*dense=*/true, "flat", /*threads=*/2);
-  check_batch_equals_permsg({"de_bruijn:8", "best-first", "random-pairs", 0.6},
-                            /*dense=*/true, "flat", /*threads=*/2);
-  check_batch_equals_permsg({"ccc:5", "bidirectional", "random-pairs", 0.6},
-                            /*dense=*/true, "flat", /*threads=*/2);
+  // worker's block they land in — at 2 workers and past the oversubscription
+  // point (4 workers on smaller machines).
+  for (const unsigned threads : {2u, 4u}) {
+    check_batch_equals_permsg({"hypercube:8", "flood", "random-pairs", 0.5, 400},
+                              /*dense=*/true, "flat", threads);
+    check_batch_equals_permsg({"de_bruijn:8", "best-first", "random-pairs", 0.6},
+                              /*dense=*/true, "flat", threads);
+    check_batch_equals_permsg({"ccc:5", "bidirectional", "random-pairs", 0.6},
+                              /*dense=*/true, "flat", threads);
+  }
 }
 
 TEST(FrontierSearch, BatchAxisComposesWithTheOtherABAxes) {
@@ -233,8 +236,8 @@ TEST(FrontierSearch, FrontierModeNamesRoundTrip) {
   EXPECT_EQ(parse_frontier_mode("permsg"), FrontierMode::kPerMessage);
   EXPECT_EQ(frontier_mode_name(FrontierMode::kBatch), "batch");
   EXPECT_EQ(frontier_mode_name(FrontierMode::kPerMessage), "permsg");
-  EXPECT_THROW(parse_frontier_mode("per-message"), std::invalid_argument);
-  EXPECT_THROW(parse_frontier_mode(""), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_frontier_mode("per-message")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_frontier_mode("")), std::invalid_argument);
 }
 
 }  // namespace

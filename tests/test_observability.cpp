@@ -18,6 +18,7 @@
 #include "obs/delivery_sampler.hpp"
 #include "obs/phase_profiler.hpp"
 #include "obs/run_metrics.hpp"
+#include "obs/schemas.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "scenario/reporter.hpp"
 #include "scenario/runner.hpp"
@@ -400,7 +401,8 @@ TEST(RunMetricsOutput, MetricsJsonCarriesSchemaProvenanceAndCounters) {
   std::ostringstream out;
   metrics.write_metrics_json(out, "unit-test");
   const std::string json = out.str();
-  EXPECT_NE(json.find("\"schema\":\"faultroute.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find(std::string("\"schema\":\"") + obs::schemas::kMetrics + "\""),
+            std::string::npos);
   EXPECT_NE(json.find("\"command\":\"unit-test\""), std::string::npos);
   EXPECT_NE(json.find("\"provenance\""), std::string::npos);
   EXPECT_NE(json.find("\"git_hash\""), std::string::npos);

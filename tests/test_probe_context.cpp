@@ -133,8 +133,8 @@ class ProbeContextBackends : public ::testing::TestWithParam<bool> {
 };
 
 INSTANTIATE_TEST_SUITE_P(HashAndDense, ProbeContextBackends, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "dense" : "hash";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "dense" : "hash";
                          });
 
 TEST_P(ProbeContextBackends, BudgetZeroThrowsOnTheVeryFirstFreshProbe) {

@@ -124,10 +124,11 @@ TEST_P(RouterMatrixTest, CompletenessValidityAndLocality) {
 
 INSTANTIATE_TEST_SUITE_P(AllCombinations, RouterMatrixTest,
                          ::testing::ValuesIn(build_matrix()),
-                         [](const ::testing::TestParamInfo<MatrixCase>& info) {
-                           return info.param.topology_label + "_" +
-                                  info.param.router_label +
-                                  (info.param.node_faults ? "_nodefaults" : "_edgefaults");
+                         [](const ::testing::TestParamInfo<MatrixCase>& param_info) {
+                           return param_info.param.topology_label + "_" +
+                                  param_info.param.router_label +
+                                  (param_info.param.node_faults ? "_nodefaults"
+                                                                : "_edgefaults");
                          });
 
 }  // namespace

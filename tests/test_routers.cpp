@@ -114,8 +114,8 @@ TEST_P(GenericRouterTest, LocalRoutersSurviveEnforcement) {
 
 INSTANTIATE_TEST_SUITE_P(AllGeneric, GenericRouterTest,
                          ::testing::ValuesIn(generic_routers()),
-                         [](const auto& info) {
-                           std::string n = info.param.label;
+                         [](const auto& param_info) {
+                           std::string n = param_info.param.label;
                            for (auto& c : n) {
                              if (c == '-') c = '_';
                            }

@@ -157,7 +157,8 @@ TEST(ScenarioRunner, EmitsSchemaVersionedJsonLines) {
   const auto lines = lines_of(run_jsonl(1));
   // header + 8 cells + footer
   ASSERT_EQ(lines.size(), 10u);
-  EXPECT_NE(lines.front().find("\"schema\":\"faultroute.scenario.v3\""), std::string::npos);
+  EXPECT_NE(lines.front().find(std::string("\"schema\":\"") + kSchemaName + "\""),
+            std::string::npos);
   EXPECT_NE(lines.front().find("\"provenance\""), std::string::npos);
   EXPECT_NE(lines.front().find("\"cells\":8"), std::string::npos);
   for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
@@ -193,7 +194,7 @@ TEST(ScenarioRunner, SummaryCountsMatchCells) {
   ASSERT_EQ(lines.size(), 9u);  // header row + 8 cells
   EXPECT_EQ(lines[0].rfind("schema,scenario,cell,topology,", 0), 0u);
   for (std::size_t i = 1; i < lines.size(); ++i) {
-    EXPECT_EQ(lines[i].rfind("faultroute.scenario.v3,", 0), 0u) << lines[i];
+    EXPECT_EQ(lines[i].rfind(std::string(kSchemaName) + ",", 0), 0u) << lines[i];
   }
 }
 

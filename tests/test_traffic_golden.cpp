@@ -108,10 +108,17 @@ void golden_check_scenario_file(const std::string& stem) {
                 run_traffic(topology, environment, factory, messages, config);
             const TrafficResult reference =
                 run_traffic_reference(topology, environment, factory, messages, config);
-            expect_identical(event, reference,
-                             stem + " cell " + std::to_string(index) + " (" +
-                                 spec.topologies[ti] + ", p=" + std::to_string(p) + ", " +
-                                 router + ", " + workload_spec + ")");
+            const std::string label = stem + " cell " + std::to_string(index) + " (" +
+                                      spec.topologies[ti] + ", p=" + std::to_string(p) +
+                                      ", " + router + ", " + workload_spec + ")";
+            expect_identical(event, reference, label);
+            // The event engine must also be thread-count invariant: rerun the
+            // cell with an oversubscribed pool and hold it to the same report.
+            TrafficConfig threaded = config;
+            threaded.threads = 4;
+            const TrafficResult event4 =
+                run_traffic(topology, environment, factory, messages, threaded);
+            expect_identical(event4, event, label + " threads=4");
           }
         }
       }

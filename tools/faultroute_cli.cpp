@@ -19,7 +19,7 @@
 //   faultroute threshold --topology de_bruijn:12
 //   faultroute trials --topology mesh:2:96 --p 0.6 --router landmark --trials 50
 //   faultroute permutation --topology hypercube:10 --p 0.6 --router best-first --pairs 256
-//   faultroute traffic --topology hypercube:12 --p 0.5 --router greedy \
+//   faultroute traffic --topology hypercube:12 --p 0.5 --router greedy
 //       --workload permutation --messages 4096
 //   faultroute scenario scenarios/hypercube_phase.scn
 //   faultroute scenario --spec "topology=hypercube:8; p=0.3:0.7:5; router=greedy"
@@ -41,6 +41,7 @@
 #include "graph/flat_adjacency.hpp"
 #include "graph/mesh.hpp"
 #include "obs/run_metrics.hpp"
+#include "obs/schemas.hpp"
 #include "percolation/cluster_analysis.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "percolation/threshold.hpp"
@@ -520,7 +521,7 @@ void print_usage() {
             << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
             << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
             << "                   [--cell-timings true|false]\n"
-            << "observability:     --metrics PATH (faultroute.metrics.v1 JSON) and\n"
+            << "observability:     --metrics PATH (" << obs::schemas::kMetrics << " JSON) and\n"
             << "                   --trace PATH (Chrome trace-event JSON, for\n"
             << "                   chrome://tracing / Perfetto) on every subcommand;\n"
             << "                   traffic also takes --trace-samples N\n"
