@@ -32,6 +32,7 @@
 #include "random/rng.hpp"
 #include "sim/options.hpp"
 
+// analyze:allow-file-hot-alloc(bench-local reference routers keep per-message search state on purpose: the benchmark measures the batched executor against exactly this baseline)
 namespace {
 
 using namespace faultroute;

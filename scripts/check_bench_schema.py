@@ -11,6 +11,7 @@ Understands every schema the bench suite and the CLI emit — the report's
   * faultroute.bench.adjacency.v1 (bench_adjacency: flat CSR vs implicit)
   * faultroute.bench.frontier.v1  (bench_frontier: batched frontier vs per-message)
   * faultroute.metrics.v1         (any subcommand's --metrics report)
+  * faultroute.analyze.v1         (faultroute_analyze --json contract report)
 
 Run by CI after `bench_delivery --quick --json` / `bench_routing --quick
 --json` so the machine-readable perf trajectories (BENCH_traffic.json,
@@ -27,6 +28,7 @@ ROUTING_SCHEMA = "faultroute.bench.routing.v1"
 ADJACENCY_SCHEMA = "faultroute.bench.adjacency.v1"
 FRONTIER_SCHEMA = "faultroute.bench.frontier.v1"
 METRICS_SCHEMA = "faultroute.metrics.v1"
+ANALYZE_SCHEMA = "faultroute.analyze.v1"
 SCHEMA_VERSION = 1
 
 # Build provenance (git hash / compiler / build type). Mandatory in
@@ -159,6 +161,40 @@ METRICS_SAMPLES_FIELDS = {
     "steps_seen": int,
     "max_samples": int,
     "samples": list,
+}
+
+ANALYZE_TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "frontend": str,
+    "tus": int,
+    "files": int,
+    "functions": int,
+    "rule_counts": dict,
+    "findings": list,
+    "suppressed": list,
+}
+
+ANALYZE_FINDING_FIELDS = {
+    "rule": str,
+    "file": str,
+    "line": int,
+    "function": str,
+    "message": str,
+}
+
+ANALYZE_SUPPRESSED_FIELDS = {
+    "rule": str,
+    "file": str,
+    "line": int,
+    "function": str,
+    "reason": str,
+}
+
+# The analyzer's four contract families plus its meta rule; rule_counts must
+# cover exactly this set so a renamed rule cannot slip past report consumers.
+ANALYZE_RULES = {
+    "hot-alloc", "determinism", "lock-discipline", "throw-safety", "annotation",
 }
 
 METRICS_SAMPLE_FIELDS = {
@@ -333,9 +369,55 @@ def check_metrics(report: dict) -> None:
             check_fields(sample, METRICS_SAMPLE_FIELDS, where)
 
 
+def check_analyze(report: dict) -> None:
+    check_fields(report, ANALYZE_TOP_LEVEL, "top level")
+    if report["schema_version"] != SCHEMA_VERSION:
+        fail(f"schema_version is {report['schema_version']}, expected {SCHEMA_VERSION}")
+    if report["frontend"] not in ("libclang", "internal"):
+        fail(f"frontend is '{report['frontend']}', expected 'libclang' or 'internal'")
+    for key in ("tus", "files", "functions"):
+        if isinstance(report[key], bool) or report[key] < 0:
+            fail(f"{key}: expected a non-negative integer, got {report[key]!r}")
+
+    counts = report["rule_counts"]
+    if set(counts) != ANALYZE_RULES:
+        fail(f"rule_counts keys {sorted(counts)} != expected {sorted(ANALYZE_RULES)}")
+    for rule, count in counts.items():
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            fail(f"rule_counts['{rule}']: expected a non-negative integer, got {count!r}")
+    if sum(counts.values()) != len(report["findings"]):
+        fail(f"rule_counts sum to {sum(counts.values())} but there are "
+             f"{len(report['findings'])} findings")
+
+    for label, fields in (("findings", ANALYZE_FINDING_FIELDS),
+                          ("suppressed", ANALYZE_SUPPRESSED_FIELDS)):
+        for i, entry in enumerate(report[label]):
+            where = f"{label}[{i}]"
+            if not isinstance(entry, dict):
+                fail(f"{where}: not an object")
+            check_fields(entry, fields, where)
+            if entry["rule"] not in ANALYZE_RULES:
+                fail(f"{where}: unknown rule '{entry['rule']}'")
+            if isinstance(entry["line"], bool) or entry["line"] < 0:
+                fail(f"{where}: negative line {entry['line']!r}")
+            text_field = "message" if label == "findings" else "reason"
+            if not entry["file"]:
+                fail(f"{where}: empty file")
+            if not entry[text_field]:
+                fail(f"{where}: empty {text_field}")
+
+
 def summarize_bench(report: dict) -> str:
     names = [bench["name"] for bench in report["benchmarks"]]
     return f"{len(names)} benchmarks ({', '.join(names)}), quick={report['quick']}"
+
+
+def summarize_analyze(report: dict) -> str:
+    return (
+        f"frontend={report['frontend']}, {report['tus']} TUs, "
+        f"{len(report['findings'])} findings, "
+        f"{len(report['suppressed'])} suppressed"
+    )
 
 
 def summarize_metrics(report: dict) -> str:
@@ -353,6 +435,7 @@ CHECKERS = {
     ADJACENCY_SCHEMA: (check_adjacency, summarize_bench),
     FRONTIER_SCHEMA: (check_frontier, summarize_bench),
     METRICS_SCHEMA: (check_metrics, summarize_metrics),
+    ANALYZE_SCHEMA: (check_analyze, summarize_analyze),
 }
 
 

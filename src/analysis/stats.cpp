@@ -40,12 +40,12 @@ double Summary::sem() const {
 }
 
 double Summary::min() const {
-  if (values_.empty()) throw std::logic_error("Summary::min: empty sample");
+  if (values_.empty()) throw std::logic_error("Summary::min: empty sample");  // analyze:allow-throw-safety(empty-sample guard; parallel workers funnel throws through first_error)
   return *std::min_element(values_.begin(), values_.end());
 }
 
 double Summary::max() const {
-  if (values_.empty()) throw std::logic_error("Summary::max: empty sample");
+  if (values_.empty()) throw std::logic_error("Summary::max: empty sample");  // analyze:allow-throw-safety(empty-sample guard; parallel workers funnel throws through first_error)
   return *std::max_element(values_.begin(), values_.end());
 }
 

@@ -41,6 +41,7 @@ TrialOutcome run_single_trial(const Topology& graph, double p, Router& router,
       ++outcome.rejected;
     }
     if (!accepted_seed) {
+      // analyze:allow-throw-safety(resample exhaustion aborts the trial sweep by design; funneled through first_error)
       throw std::runtime_error(
           "run_routing_trials: could not sample a connected environment for " +
           graph.name() + " at p=" + std::to_string(p) +

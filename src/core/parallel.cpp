@@ -24,7 +24,11 @@ void parallel_index_loop(std::size_t count, unsigned threads,
     try {
       const auto body = make_body();
       while (true) {
-        const std::size_t i = next.fetch_add(1);
+        // relaxed is sufficient: the ticket counter is the only shared word,
+        // RMWs on one atomic are totally ordered regardless of memory_order,
+        // each index is claimed exactly once, and thread join supplies the
+        // happens-before for everything the bodies wrote.
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
         body(i);
       }
@@ -38,8 +42,8 @@ void parallel_index_loop(std::size_t count, unsigned threads,
     worker();
   } else {
     std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker);
+    pool.reserve(threads);  // analyze:allow-hot-alloc(thread spawn happens once per region, outside any worker body)
+    for (unsigned w = 0; w < threads; ++w) pool.emplace_back(worker);  // analyze:allow-hot-alloc(same one-time spawn)
     for (auto& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);

@@ -39,6 +39,7 @@ bool is_valid_open_path(const AdjacencyView& adj, const EdgeSampler& sampler,
   return true;
 }
 
+// analyze:allow-hot-alloc(simplify_walk materializes one output path per message; state is bounded by walk length)
 Path simplify_walk(const Path& walk) {
   Path out;
   std::unordered_map<VertexId, std::size_t> position;  // vertex -> index in out

@@ -19,11 +19,11 @@ void ProbeArena::begin_message(const Topology& graph) {
   // below the post-increment epoch.
   channels_ = &graph.channel_index();
   if (edge_epoch_.size() < channels_->num_edge_ids()) {
-    edge_epoch_.resize(channels_->num_edge_ids(), 0);
-    edge_open_.resize(channels_->num_edge_ids(), 0);
+    edge_epoch_.resize(channels_->num_edge_ids(), 0);  // analyze:allow-hot-alloc(grow-only arena warm-up, reused across messages)
+    edge_open_.resize(channels_->num_edge_ids(), 0);  // analyze:allow-hot-alloc(same grow-only warm-up)
   }
   if (vertex_epoch_.size() < graph.num_vertices()) {
-    vertex_epoch_.resize(graph.num_vertices(), 0);
+    vertex_epoch_.resize(graph.num_vertices(), 0);  // analyze:allow-hot-alloc(same grow-only warm-up)
   }
   if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
     // Epoch wrap: stamps from ~4 billion messages ago would read as live.
@@ -57,7 +57,7 @@ void ProbeContext::reached_insert(VertexId v) {
   if (arena_ != nullptr) {
     arena_->vertex_epoch_[v] = arena_->epoch_;
   } else {
-    reached_.insert(v);
+    reached_.insert(v);  // analyze:allow-hot-alloc(hash-backend reached set: the no-arena A/B baseline)
   }
 }
 
@@ -106,6 +106,7 @@ template <typename Access>
 bool ProbeContext::probe_with(const Access& access, VertexId v, int i) {
   const VertexId w = access.neighbor(v, i);
   if (mode_ == RoutingMode::kLocal && !reached_contains(v) && !reached_contains(w)) {
+    // analyze:allow-throw-safety(locality contract violation is a programming error; surfaced via first_error)
     throw LocalityViolation("local probe of edge not incident to the reached set");
   }
   ++total_probes_;
@@ -119,7 +120,7 @@ bool ProbeContext::probe_with(const Access& access, VertexId v, int i) {
       open = arena_->edge_open_[edge] != 0;
     } else {
       if (budget_ && distinct_probes_ >= *budget_) {
-        throw ProbeBudgetExceeded("probe budget exhausted");
+        throw ProbeBudgetExceeded("probe budget exhausted");  // analyze:allow-throw-safety(probe-budget censoring signal, caught per message by the engine)
       }
       open = sampler_.is_open_indexed(edge, access.edge_key(v, i));
       arena_->edge_epoch_[edge] = arena_->epoch_;
@@ -133,10 +134,10 @@ bool ProbeContext::probe_with(const Access& access, VertexId v, int i) {
       open = it->second;
     } else {
       if (budget_ && distinct_probes_ >= *budget_) {
-        throw ProbeBudgetExceeded("probe budget exhausted");
+        throw ProbeBudgetExceeded("probe budget exhausted");  // analyze:allow-throw-safety(probe-budget censoring signal, caught per message by the engine)
       }
       open = sampler_.is_open(key);
-      memo_.emplace(key, open);
+      memo_.emplace(key, open);  // analyze:allow-hot-alloc(hash-backend probe memo: one insert per distinct edge, the A/B baseline)
       ++distinct_probes_;
     }
   }
@@ -157,6 +158,7 @@ bool ProbeContext::probe(VertexId v, int i) {
 
 bool ProbeContext::probe_between(VertexId a, VertexId b) {
   const int i = flat_ != nullptr ? edge_index_of(*flat_, a, b) : edge_index_of(graph_, a, b);
+  // analyze:allow-throw-safety(adjacency precondition guard; surfaced via first_error)
   if (i < 0) throw std::invalid_argument("probe_between: vertices are not adjacent");
   return probe(a, i);
 }

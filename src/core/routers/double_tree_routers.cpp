@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+// analyze:allow-file-hot-alloc(per-message tree walks: branch and path materialization bounded by tree depth)
 namespace faultroute {
 
 namespace {
@@ -15,6 +16,7 @@ using Side = DoubleBinaryTree::Side;
 bool check_roots(const DoubleBinaryTree& tree, VertexId u, VertexId v) {
   if (u == tree.root1() && v == tree.root2()) return false;
   if (u == tree.root2() && v == tree.root1()) return true;
+  // analyze:allow-throw-safety(root-pair precondition guard; surfaced via first_error)
   throw std::invalid_argument("double-tree routers route between the two roots only");
 }
 
@@ -44,6 +46,7 @@ std::optional<Path> DoubleTreeLocalRouter::route(ProbeContext& ctx, VertexId u, 
     // Routing root2 -> root1 is the same algorithm with the trees swapped;
     // for simplicity route root1 -> root2 obeying locality from root2 is not
     // supported (the experiments always route x -> y).
+    // analyze:allow-throw-safety(unsupported-orientation guard; surfaced via first_error)
     throw std::invalid_argument("DoubleTreeLocalRouter: route from root1 to root2");
   }
   const std::uint64_t leaf_level = tree_.num_leaves();

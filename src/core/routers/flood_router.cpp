@@ -4,6 +4,7 @@
 
 #include "graph/flat_adjacency.hpp"
 
+// analyze:allow-file-hot-alloc(per-message flood BFS is the --frontier permsg differential baseline for the batched block executor)
 namespace faultroute {
 
 namespace {

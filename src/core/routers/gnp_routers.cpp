@@ -7,6 +7,7 @@
 
 #include "graph/complete.hpp"
 
+// analyze:allow-file-hot-alloc(complete-graph cross-scan routers size per-search state once per message; no batched executor exists for this family)
 namespace faultroute {
 
 namespace {
@@ -37,6 +38,7 @@ std::optional<Path> GnpOracleRouter::route(ProbeContext& ctx, VertexId u, Vertex
   if (u == v) return Path{u};
   const auto* clique = dynamic_cast<const CompleteGraph*>(&ctx.graph());
   if (clique == nullptr) {
+    // analyze:allow-throw-safety(topology precondition guard; surfaced via first_error)
     throw std::invalid_argument("GnpOracleRouter requires a CompleteGraph topology");
   }
   const std::uint64_t n = clique->num_vertices();

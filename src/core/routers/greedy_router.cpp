@@ -8,6 +8,7 @@
 #include "graph/distance_oracle.hpp"
 #include "graph/flat_adjacency.hpp"
 
+// analyze:allow-file-hot-alloc(per-message best-first search: candidate ranking is bounded by degree, the metric baseline the distance oracle accelerates)
 namespace faultroute {
 
 namespace {

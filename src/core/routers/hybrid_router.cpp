@@ -25,14 +25,14 @@ std::optional<Path> HybridGreedyRouter::route(ProbeContext& ctx, VertexId u, Ver
     const int deg = adj.degree(x);
     for (int i = 0; i < deg; ++i) {
       const std::uint64_t dy = metric_distance(graph, col, adj.neighbor(x, i), v);
-      if (dy < dx) improving.emplace_back(dy, i);
+      if (dy < dx) improving.emplace_back(dy, i);  // analyze:allow-hot-alloc(per-step candidate ranking bounded by degree)
     }
     std::sort(improving.begin(), improving.end());
     bool moved = false;
     for (const auto& [dy, i] : improving) {
       if (ctx.probe(x, i)) {
         x = adj.neighbor(x, i);
-        walk.push_back(x);
+        walk.push_back(x);  // analyze:allow-hot-alloc(walk materialization, one vertex per accepted move)
         moved = true;
         break;
       }

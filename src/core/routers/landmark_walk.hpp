@@ -8,6 +8,7 @@
 #include "core/probe_context.hpp"
 #include "graph/flat_adjacency.hpp"
 
+// analyze:allow-file-hot-alloc(landmark walk: the pooled queue retains capacity across segments; segment and walk splices materialize the result path)
 namespace faultroute::detail {
 
 /// The landmark walk of Theorems 3(ii)/4, shared by LandmarkRouter (the

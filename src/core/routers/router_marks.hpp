@@ -37,6 +37,7 @@ class HashMarks {
     return true;
   }
   /// Inserts v -> value; returns false (and leaves the mark) if v is marked.
+  // analyze:allow-hot-alloc(HashMarks is the hash A/B fallback; DenseMarks pools instead)
   bool emplace(VertexId v, VertexId value) { return map_.emplace(v, value).second; }
 
  private:
@@ -58,8 +59,8 @@ class DenseMarks {
   /// marks can never read as live.
   void begin(std::uint64_t n) {
     if (stamp_.size() < n) {
-      stamp_.resize(n, 0);
-      value_.resize(n, 0);
+      stamp_.resize(n, 0);  // analyze:allow-hot-alloc(grow-only pooled marks warm-up)
+      value_.resize(n, 0);  // analyze:allow-hot-alloc(same grow-only warm-up)
     }
     if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
       std::fill(stamp_.begin(), stamp_.end(), 0u);

@@ -30,8 +30,8 @@ struct BfsScratch {
   /// can never read as live.
   void begin(std::uint64_t n) {
     if (stamp.size() < n) {
-      stamp.resize(n, 0);
-      parent.resize(n, 0);
+      stamp.resize(n, 0);  // analyze:allow-hot-alloc(grow-only pooled scratch warm-up)
+      parent.resize(n, 0);  // analyze:allow-hot-alloc(same grow-only warm-up)
     }
     if (epoch == std::numeric_limits<std::uint32_t>::max()) {
       std::fill(stamp.begin(), stamp.end(), 0u);

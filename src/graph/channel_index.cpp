@@ -51,16 +51,17 @@ void ChannelIndex::build_edge_ids() const {
   // One linear scan over (vertex, slot) pairs — i.e. over channels in
   // ascending id order. The hash map exists only during this build; the
   // steady-state structure is the flat edge_ids_ array.
-  edge_ids_.resize(num_channels_);
+  edge_ids_.resize(num_channels_);  // analyze:allow-hot-alloc(one-shot lazy index build, memoised per topology)
   // lint:allow-hash(one-shot build-time scratch; steady state is the flat array)
   std::unordered_map<EdgeKey, std::uint32_t> first_seen;
-  first_seen.reserve(num_channels_ / 2 + 1);
+  first_seen.reserve(num_channels_ / 2 + 1);  // analyze:allow-hot-alloc(same one-shot build)
   std::uint32_t next_id = 0;
   std::uint32_t channel = 0;
   const std::uint64_t n = graph_->num_vertices();
   for (VertexId v = 0; v < n; ++v) {
     const int deg = graph_->degree(v);
     for (int i = 0; i < deg; ++i, ++channel) {
+      // analyze:allow-hot-alloc(same one-shot build)
       const auto [it, inserted] = first_seen.emplace(graph_->edge_key(v, i), next_id);
       if (inserted) ++next_id;
       edge_ids_[channel] = it->second;
@@ -80,6 +81,7 @@ std::uint32_t ChannelIndex::reverse(std::uint32_t channel) const {
       return channel_of(w, j);
     }
   }
+  // analyze:allow-throw-safety(edge_key symmetry contract violation is a programming error in the topology)
   throw std::logic_error("ChannelIndex::reverse: no matching reverse slot for edge key " +
                          std::to_string(key) + " — edge_key symmetry contract violated by " +
                          graph_->name());

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+// analyze:allow-file-throw-safety(neighbor and edge_key slot guards: out-of-range arguments are programming errors, surfaced through parallel first_error)
 namespace faultroute {
 
 CubeConnectedCycles::CubeConnectedCycles(int k) : k_(k), rows_(1ULL << k) {

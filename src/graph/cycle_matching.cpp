@@ -5,6 +5,7 @@
 
 #include "random/rng.hpp"
 
+// analyze:allow-file-throw-safety(neighbor and edge_key slot guards: out-of-range arguments are programming errors, surfaced through parallel first_error)
 namespace faultroute {
 
 CycleWithMatching::CycleWithMatching(std::uint64_t n, std::uint64_t matching_seed)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+// analyze:allow-file-throw-safety(neighbor and edge_key slot guards: out-of-range arguments are programming errors, surfaced through parallel first_error)
 namespace faultroute {
 
 DeBruijn::DeBruijn(int k) : k_(k), n_(1ULL << k) {

@@ -21,6 +21,7 @@ DistanceOracle::DistanceOracle(const FlatAdjacency& flat, std::size_t num_landma
   obs::global_count("graph.distance_oracle.landmarks", landmarks_.size());
 }
 
+// analyze:hot-root(oracle column builds: one multi-source BFS per 64-target block)
 void DistanceOracle::bfs_block(const std::vector<VertexId>& sources,
                                const std::vector<std::uint32_t*>& cols) const {
   const std::size_t k = sources.size();
@@ -36,10 +37,21 @@ void DistanceOracle::bfs_block(const std::vector<VertexId>& sources,
   // the moment a bit first enters `visited`, so the values are independent
   // of the order vertices happen to be scanned in — the property that makes
   // this batched sweep value-identical to one Topology::distance BFS per
-  // source (see the class comment).
-  std::vector<std::uint64_t> visited(n_, 0);
-  std::vector<std::uint64_t> frontier(n_, 0);
-  std::vector<std::uint64_t> next(n_, 0);
+  // source (see the class comment). The word arrays are pooled on the
+  // oracle (callers serialize; see BlockScratch): steady-state blocks only
+  // refill, they never allocate.
+  if (scratch_.visited.size() < n_) {
+    // analyze:allow-hot-alloc(one-time warm-up: pooled scratch grows to n_ on first block, reused after)
+    scratch_.visited.resize(n_);
+    scratch_.frontier.resize(n_);  // analyze:allow-hot-alloc(same one-time warm-up)
+    scratch_.next.resize(n_);  // analyze:allow-hot-alloc(same one-time warm-up)
+  }
+  std::vector<std::uint64_t>& visited = scratch_.visited;
+  std::vector<std::uint64_t>& frontier = scratch_.frontier;
+  std::vector<std::uint64_t>& next = scratch_.next;
+  std::fill(visited.begin(), visited.end(), 0);
+  std::fill(frontier.begin(), frontier.end(), 0);
+  std::fill(next.begin(), next.end(), 0);
   std::uint64_t frontier_vertices = 0;
   for (std::size_t m = 0; m < k; ++m) {
     const VertexId s = sources[m];
@@ -140,6 +152,7 @@ void DistanceOracle::select_landmarks(std::size_t num_landmarks) {
   }
 }
 
+// analyze:allow-hot-alloc(column builds are the memoised slow path, one allocation set per new target under budget; steady-state routing reads distances_to)
 void DistanceOracle::ensure_targets(const std::vector<VertexId>& targets) const {
   if (!usable_) return;
   const std::uint64_t column_bytes = n_ * sizeof(std::uint32_t);

@@ -119,6 +119,18 @@ class DistanceOracle {
   // lint:allow-hash(cold memo of sparse targets; hot path reads the columns)
   mutable std::unordered_map<VertexId, Column> columns_;
   mutable std::uint64_t column_bytes_ = 0;
+
+  /// Per-vertex bitset state pooled across bfs_block calls: grown once to
+  /// n_ words on first use, then only refilled. Every bfs_block caller
+  /// serializes (the ctor runs single-threaded, ensure_targets holds mutex_
+  /// exclusively), so one shared scratch is race-free — same pooling idiom
+  /// as ProbeArena / BfsScratch.
+  struct BlockScratch {
+    std::vector<std::uint64_t> visited;
+    std::vector<std::uint64_t> frontier;
+    std::vector<std::uint64_t> next;
+  };
+  mutable BlockScratch scratch_;
 };
 
 /// Fault-free distance of x to the fixed target a column was fetched for:

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+// analyze:allow-file-throw-safety(neighbor and edge_key slot guards: out-of-range arguments are programming errors, surfaced through parallel first_error)
 namespace faultroute {
 
 DoubleBinaryTree::DoubleBinaryTree(int n) : n_(n), leaves_(1ULL << n) {

@@ -50,6 +50,7 @@ AdjacencyMode parse_adjacency_mode(const std::string& name) {
   if (name == "flat") return AdjacencyMode::kFlat;
   if (name == "implicit") return AdjacencyMode::kImplicit;
   if (name == "auto") return AdjacencyMode::kAuto;
+  // analyze:allow-throw-safety(config parse error raised during scenario setup)
   throw std::invalid_argument("adjacency mode must be 'flat', 'implicit', or 'auto', got '" +
                               name + "'");
 }

@@ -17,6 +17,7 @@ std::uint64_t Hypercube::distance(VertexId u, VertexId v) const {
   return static_cast<std::uint64_t>(std::popcount(u ^ v));
 }
 
+// analyze:allow-hot-alloc(closed-form path materialization, reserved to the exact length)
 std::vector<VertexId> Hypercube::shortest_path(VertexId u, VertexId v) const {
   std::vector<VertexId> path;
   path.reserve(static_cast<std::size_t>(distance(u, v)) + 1);

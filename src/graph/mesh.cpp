@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+// analyze:allow-file-throw-safety(neighbor and edge_key slot guards: out-of-range arguments are programming errors, surfaced through parallel first_error)
 namespace faultroute {
 
 Mesh::Mesh(int dim, std::int64_t side, bool wrap)
@@ -152,6 +153,7 @@ std::uint64_t Mesh::distance(VertexId u, VertexId v) const {
   return total;
 }
 
+// analyze:allow-hot-alloc(closed-form path materialization, reserved to the exact length)
 std::vector<VertexId> Mesh::shortest_path(VertexId u, VertexId v) const {
   std::vector<VertexId> path;
   path.reserve(static_cast<std::size_t>(distance(u, v)) + 1);

@@ -44,6 +44,7 @@ const FlatAdjacency& Topology::flat_adjacency() const {
   return *flat_adjacency_;
 }
 
+// analyze:hot-root(dense BFS scratch path: metric fallback in router inner loops) analyze:allow-hot-alloc(dense tier runs on pooled thread-local scratch; the hash tier is the documented past-budget fallback)
 std::uint64_t Topology::distance(VertexId u, VertexId v) const {
   if (u == v) return 0;
   const std::uint64_t n = num_vertices();
@@ -93,6 +94,7 @@ std::uint64_t Topology::distance(VertexId u, VertexId v) const {
   return n;
 }
 
+// analyze:allow-hot-alloc(pooled dense scratch plus result materialization; the hash tier is the documented past-budget fallback)
 std::vector<VertexId> Topology::shortest_path(VertexId u, VertexId v) const {
   if (u == v) return {u};
   const std::uint64_t n = num_vertices();

@@ -26,6 +26,7 @@ CounterRegistry::CounterRegistry(std::size_t capacity)
 
 CounterRegistry::~CounterRegistry() = default;
 
+// analyze:allow-hot-alloc(registration appends once per distinct counter name; steady-state add/record never calls id) analyze:allow-throw-safety(kind mismatch and capacity exhaustion are programming errors; surfaced via first_error)
 CounterRegistry::CounterId CounterRegistry::id(std::string_view name, MergeKind kind) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(name);

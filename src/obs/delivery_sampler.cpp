@@ -18,11 +18,11 @@ void DeliverySampler::record(const Sample& sample) {
     // == 0), so spacing stays uniform and sample 0 survives every halving.
     std::size_t kept = 0;
     for (std::size_t i = 0; i < samples_.size(); i += 2) samples_[kept++] = samples_[i];
-    samples_.resize(kept);
+    samples_.resize(kept);  // analyze:allow-hot-alloc(decimation shrink within reserved capacity)
     stride_ *= 2;
     if ((steps_seen_ - 1) % stride_ != 0) return;  // this sample no longer lands on-grid
   }
-  samples_.push_back(sample);
+  samples_.push_back(sample);  // analyze:allow-hot-alloc(reservoir append bounded by max_samples)
 }
 
 }  // namespace faultroute::obs

@@ -53,6 +53,7 @@ PhaseProfiler::Scope::Scope(PhaseProfiler* profiler, std::string_view name)
     : profiler_(profiler) {
   if (profiler_ == nullptr) return;
   ThreadState& state = profiler_->state_for_current_thread();
+  // analyze:allow-hot-alloc(span stack bounded by phase nesting depth; phases wrap batches, not messages)
   state.open.emplace_back(std::string(name), profiler_->now_us());
 }
 

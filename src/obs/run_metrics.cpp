@@ -11,7 +11,7 @@ namespace {
 
 std::string json_escape(std::string_view text) {
   std::string out;
-  out.reserve(text.size());
+  out.reserve(text.size());  // analyze:allow-hot-alloc(reached only via name-based dispatch over-approximation of Marks::begin; emission is off the routing path)
   for (const char c : text) {
     switch (c) {
       case '"': out += "\\\""; break;

@@ -15,6 +15,7 @@ HashEdgeSampler::HashEdgeSampler(double p, std::uint64_t seed)
       always_open_(p >= 1.0),
       always_closed_(p <= 0.0) {
   if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    // analyze:allow-throw-safety(parameter validation at sampler construction)
     throw std::invalid_argument("HashEdgeSampler: p must be in [0, 1]");
   }
   if (!always_open_ && !always_closed_) {

@@ -20,7 +20,7 @@ std::string fmt(double value) {
 
 std::string json_escape(const std::string& text) {
   std::string out;
-  out.reserve(text.size() + 2);
+  out.reserve(text.size() + 2);  // analyze:allow-hot-alloc(reached only via name-based dispatch over-approximation of Marks::begin; emission is off the routing path)
   for (const char c : text) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -97,6 +97,7 @@ void JsonLinesReporter::begin(const ScenarioSpec& spec) {
   cells_reported_ = 0;
 }
 
+// analyze:det-root(scenario cell emission: byte-identical across reruns and threads)
 void JsonLinesReporter::report(const CellResult& cell) {
   out_ << "{\"type\":\"cell\",\"cell\":" << cell.cell
        << ",\"topology\":" << json_str(cell.topology)

@@ -68,6 +68,7 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter,
     if (workloads[w].kind != WorkloadKind::kHotspot) continue;
     for (std::size_t t = 0; t < topologies.size(); ++t) {
       if (workloads[w].hotspot_target >= topologies[t]->num_vertices()) {
+        // analyze:allow-throw-safety(scenario validation precedes the trial loops)
         throw std::invalid_argument("workload '" + spec.workloads[w] + "': hotspot target " +
                                     std::to_string(workloads[w].hotspot_target) +
                                     " out of range for topology '" + spec.topologies[t] +

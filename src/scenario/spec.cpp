@@ -28,6 +28,7 @@ std::vector<std::string> split(const std::string& text, char sep) {
 }
 
 [[noreturn]] void fail(const std::string& key, const std::string& why) {
+  // analyze:allow-throw-safety(spec validation runs before any parallel phase)
   throw std::invalid_argument("scenario key '" + key + "': " + why);
 }
 
@@ -169,6 +170,7 @@ void validate_scenario(const ScenarioSpec& spec) {
                                    static_cast<std::uint64_t>(spec.workloads.size()),
                                    spec.trials}) {
     if (axis > kMaxCells / cells) {
+      // analyze:allow-throw-safety(spec validation runs before any parallel phase)
       throw std::invalid_argument("scenario: sweep cross-product exceeds the supported " +
                                   std::to_string(kMaxCells) + " cells");
     }

@@ -23,6 +23,7 @@
 #include "graph/mesh.hpp"
 #include "graph/shuffle_exchange.hpp"
 
+// analyze:allow-file-throw-safety(factory parse and validation errors raised while resolving scenario specs; any late throw is funneled through parallel first_error)
 namespace faultroute::sim {
 
 namespace {

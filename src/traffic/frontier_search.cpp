@@ -16,6 +16,7 @@ namespace faultroute {
 FrontierMode parse_frontier_mode(const std::string& name) {
   if (name == "batch") return FrontierMode::kBatch;
   if (name == "permsg") return FrontierMode::kPerMessage;
+  // analyze:allow-throw-safety(config parse error raised during scenario setup)
   throw std::invalid_argument("frontier mode must be 'batch' or 'permsg', got '" + name +
                               "'");
 }
@@ -51,9 +52,9 @@ struct BlockMemo {
 
   void begin_block(std::uint32_t num_edges) {
     if (stamp.size() < num_edges) {
-      stamp.resize(num_edges, 0);
-      probed.resize(num_edges, 0);
-      open.resize(num_edges, 0);
+      stamp.resize(num_edges, 0);  // analyze:allow-hot-alloc(grow-only pooled memo warm-up)
+      probed.resize(num_edges, 0);  // analyze:allow-hot-alloc(same grow-only warm-up)
+      open.resize(num_edges, 0);  // analyze:allow-hot-alloc(same grow-only warm-up)
     }
     if (epoch == std::numeric_limits<std::uint32_t>::max()) {
       std::fill(stamp.begin(), stamp.end(), 0u);
@@ -91,6 +92,7 @@ struct BatchProbe {
       return memo->open[e] != 0;  // this message's own re-probe: memoised
     }
     if (budget && distinct >= *budget) {
+      // analyze:allow-throw-safety(probe-budget censoring signal, caught per message by the block executor)
       throw ProbeBudgetExceeded("probe budget exhausted");
     }
     const bool is_open = dense_probe_state
@@ -112,6 +114,7 @@ struct BatchProbe {
 /// worker's pooled BfsScratch as the dense parent marks: identical FIFO
 /// queue, identical probe order (including the target-first reordering),
 /// identical path reconstruction.
+// analyze:allow-hot-alloc(pooled scratch queue retains capacity across the block; the path materializes one result)
 std::optional<Path> flood_message(BatchProbe& probe, BfsScratch& s, const FlatAdjacency& flat,
                                   VertexId u, VertexId v, bool target_first) {
   s.begin(flat.num_vertices());
@@ -147,6 +150,7 @@ std::optional<Path> flood_message(BatchProbe& probe, BfsScratch& s, const FlatAd
   return std::nullopt;
 }
 
+// analyze:allow-hot-alloc(result-path materialization bounded by chain length)
 Path chain_to_root(const BfsScratch& s, VertexId from) {
   Path path;
   for (VertexId x = from;; x = s.parent[x]) {
@@ -160,6 +164,7 @@ Path chain_to_root(const BfsScratch& s, VertexId from) {
 /// two balls live in the worker's two scratches, the smaller live frontier
 /// expands first (ties: u side), and the meet/join/simplify steps match the
 /// router verbatim.
+// analyze:allow-hot-alloc(pooled scratch queues retain capacity across the block; join materializes one result path)
 std::optional<Path> bidirectional_message(BatchProbe& probe, BfsScratch& su, BfsScratch& sv,
                                           const FlatAdjacency& flat, VertexId u, VertexId v) {
   const std::uint64_t n = flat.num_vertices();
@@ -209,6 +214,7 @@ std::optional<Path> bidirectional_message(BatchProbe& probe, BfsScratch& su, Bfs
 
 }  // namespace
 
+// analyze:hot-root(batched frontier block executor: 64-message bitset sweeps)
 void route_frontier_batched(const Topology& graph, const EdgeSampler& env,
                             const std::vector<TrafficMessage>& messages,
                             const TrafficConfig& config, const FlatAdjacency& flat,

@@ -22,6 +22,7 @@ namespace {
 /// With config.dense_probe_state each worker owns one ProbeArena, created
 /// here in make_body and re-epoched per message, so steady-state routing
 /// allocates nothing.
+// analyze:hot-root(routing worker body: per-message inner loop of every sweep)
 void route_all(const Topology& graph, const EdgeSampler& env,
                const RouterFactory& make_router, const std::shared_ptr<Router>& prototype,
                const std::vector<TrafficMessage>& messages, const TrafficConfig& config,
@@ -44,8 +45,13 @@ void route_all(const Topology& graph, const EdgeSampler& env,
   // work-stealing loop legal — so which worker adopts it cannot matter.
   std::atomic<Router*> unclaimed{prototype.get()};
   parallel_index_loop(messages.size(), config.threads, [&] {
+    // acq_rel: the claim must be unique (RMW) and the winner must observe the
+    // fully-constructed prototype; thread spawn already orders the ctor, so
+    // this spells the minimum ordering that keeps both properties explicit.
     const std::shared_ptr<Router> router =
-        unclaimed.exchange(nullptr) != nullptr ? prototype : make_router();
+        unclaimed.exchange(nullptr, std::memory_order_acq_rel) != nullptr
+            ? prototype
+            : make_router();
     const std::shared_ptr<ProbeArena> arena =
         config.dense_probe_state ? std::make_shared<ProbeArena>() : nullptr;
     // The worker's whole routing stint is one span on its own track; the
@@ -95,7 +101,7 @@ std::vector<RoutedJourney> route_and_validate(
   obs::PhaseProfiler* profiler =
       config.metrics != nullptr ? &config.metrics->profiler() : nullptr;
   const obs::PhaseProfiler::Scope routing_scope(profiler, "routing");
-  std::vector<Path> paths(messages.size());
+  std::vector<Path> paths(messages.size());  // analyze:allow-hot-alloc(per-batch result array sized once)
 
   // One adjacency resolution for the whole batch: every probe, validation
   // scan, and slot resolution below goes through the same backend, so the
@@ -115,7 +121,7 @@ std::vector<RoutedJourney> route_and_validate(
     if (config.dense_probe_state) {
       env = &dense_cache.emplace(sampler, graph);
     } else {
-      env = &sharded_cache.emplace(sampler);
+      env = &sharded_cache.emplace(sampler);  // analyze:allow-hot-alloc(per-batch cache construction)
     }
   }
   // FrontierMode::kBatch (flat path only): classify the batch's router via
@@ -140,7 +146,8 @@ std::vector<RoutedJourney> route_and_validate(
       const obs::PhaseProfiler::Scope prewarm_scope(profiler, "oracle-prewarm");
       const DistanceOracle& cached = flat->distance_oracle();
       std::vector<VertexId> targets;
-      targets.reserve(messages.size());
+      targets.reserve(messages.size());  // analyze:allow-hot-alloc(per-batch oracle prewarm list)
+      // analyze:allow-hot-alloc(per-batch oracle prewarm list)
       for (const TrafficMessage& msg : messages) targets.push_back(msg.target);
       cached.ensure_targets(targets);  // dedups; first-appearance order
       oracle = &cached;
@@ -173,7 +180,7 @@ std::vector<RoutedJourney> route_and_validate(
 
   // Validate paths and resolve every hop's incident slot.
   const obs::PhaseProfiler::Scope validate_scope(profiler, "validate");
-  std::vector<RoutedJourney> journeys(messages.size());
+  std::vector<RoutedJourney> journeys(messages.size());  // analyze:allow-hot-alloc(per-batch result array sized once)
   for (std::size_t i = 0; i < messages.size(); ++i) {
     MessageOutcome& out = result.outcomes[i];
     result.total_distinct_probes += out.distinct_probes;
@@ -196,7 +203,7 @@ std::vector<RoutedJourney> route_and_validate(
       continue;
     }
     RoutedJourney& journey = journeys[i];
-    journey.slots.reserve(path.size() > 0 ? path.size() - 1 : 0);
+    journey.slots.reserve(path.size() > 0 ? path.size() - 1 : 0);  // analyze:allow-hot-alloc(journey slot materialization, reserved to hop count)
     bool ok = true;
     for (std::size_t step = 0; step + 1 < path.size(); ++step) {
       const int idx = adj.edge_index_of(path[step], path[step + 1]);
@@ -204,7 +211,7 @@ std::vector<RoutedJourney> route_and_validate(
         ok = false;
         break;
       }
-      journey.slots.push_back(idx);
+      journey.slots.push_back(idx);  // analyze:allow-hot-alloc(fills the reservation above)
     }
     if (!ok) {
       ++result.invalid_paths;

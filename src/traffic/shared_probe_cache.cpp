@@ -57,6 +57,7 @@ bool SharedProbeCache::is_open(EdgeKey key) const {
       return is_open_indexed(channels_.edge_id_of(channels_.channel_of(ends.a, i)), key);
     }
   }
+  // analyze:allow-throw-safety(edge-key precondition guard; surfaced via first_error)
   throw std::invalid_argument("SharedProbeCache::is_open: key " + std::to_string(key) +
                               " is not an edge key of " + graph_.name());
 }
@@ -79,6 +80,7 @@ bool ShardedProbeCache::is_open(EdgeKey key) const {
   // yields the same value and the second insert is a no-op.
   const bool open = base_.is_open(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  // analyze:allow-hot-alloc(one memo insert per distinct edge is the dedup that makes hit counts exact)
   const bool inserted = shard.memo.emplace(key, open).second;
   // Count the miss only on actual insert — the loser of a first-probe race
   // finds the winner's entry and is a hit, not a second miss.

@@ -123,8 +123,12 @@ class ShardedProbeCache final : public EdgeSampler {
   /// across thread counts, == approx_misses() after the counter fix.
   [[nodiscard]] std::uint64_t unique_edges() const;
 
-  [[nodiscard]] std::uint64_t approx_hits() const { return hits_.load(); }
-  [[nodiscard]] std::uint64_t approx_misses() const { return misses_.load(); }
+  [[nodiscard]] std::uint64_t approx_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t approx_misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr std::size_t kShards = 64;

@@ -27,20 +27,23 @@ double ms_since(std::chrono::steady_clock::time_point since) {
 
 }  // namespace
 
+// analyze:hot-root(event-engine step loop: per-step delivery scheduling)
 TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
                           const RouterFactory& make_router,
                           const std::vector<TrafficMessage>& messages,
                           const TrafficConfig& config) {
   if (config.edge_capacity == 0) {
+    // analyze:allow-throw-safety(argument validation before any phase starts)
     throw std::invalid_argument("run_traffic: edge_capacity must be >= 1");
   }
   if (messages.size() > std::numeric_limits<std::uint32_t>::max()) {
+    // analyze:allow-throw-safety(argument validation before any phase starts)
     throw std::invalid_argument(
         "run_traffic: message ids are 32-bit; at most 4294967295 messages per run");
   }
   TrafficResult result;
   result.messages = messages.size();
-  result.outcomes.resize(messages.size());
+  result.outcomes.resize(messages.size());  // analyze:allow-hot-alloc(per-batch result array sized once)
   obs::PhaseProfiler* profiler =
       config.metrics != nullptr ? &config.metrics->profiler() : nullptr;
   obs::DeliverySampler* sampler_ts =
@@ -67,9 +70,9 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   std::uint64_t total_hops = 0;
   for (const auto& journey : journeys) total_hops += journey.slots.size();
   std::vector<std::uint32_t> hop_channel;
-  hop_channel.reserve(total_hops);
-  std::vector<std::uint64_t> hop_cursor(messages.size(), 0);
-  std::vector<std::uint64_t> hop_end(messages.size(), 0);
+  hop_channel.reserve(total_hops);  // analyze:allow-hot-alloc(per-batch journey compilation, reserved to total hops)
+  std::vector<std::uint64_t> hop_cursor(messages.size(), 0);  // analyze:allow-hot-alloc(per-batch journey compilation)
+  std::vector<std::uint64_t> hop_end(messages.size(), 0);  // analyze:allow-hot-alloc(per-batch journey compilation)
   // channel_of is pure offset arithmetic over the same prefix-sum table the
   // flat snapshot borrows, so compiling against the index is already
   // compiling against the snapshot — no adjacency-mode branch needed here.
@@ -77,6 +80,7 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
     hop_cursor[i] = hop_channel.size();
     const auto& journey = journeys[i];
     for (std::size_t step = 0; step < journey.slots.size(); ++step) {
+      // analyze:allow-hot-alloc(fills the reservation above)
       hop_channel.push_back(index.channel_of(journey.path[step], journey.slots[step]));
     }
     hop_end[i] = hop_channel.size();
@@ -94,9 +98,10 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   // Workloads arrive presorted (generate_workload's contract), making this a
   // no-op scan; sorting anyway keeps hand-built message lists exact too.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> injections;
-  injections.reserve(messages.size());
+  injections.reserve(messages.size());  // analyze:allow-hot-alloc(per-batch injection timeline)
   for (std::size_t i = 0; i < messages.size(); ++i) {
     if (!result.outcomes[i].routed) continue;
+    // analyze:allow-hot-alloc(fills the reservation above)
     injections.emplace_back(messages[i].inject_time, static_cast<std::uint32_t>(i));
   }
   std::sort(injections.begin(), injections.end());
@@ -107,14 +112,14 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   // allocation ever happens inside the simulation loop, and queue state is
   // bounded by (channels + messages) by construction — drained-queue leak of
   // the container-based engine is impossible.
-  std::vector<std::uint32_t> queue_head(index.num_channels(), kNoMessage);
-  std::vector<std::uint32_t> queue_tail(index.num_channels(), kNoMessage);
-  std::vector<std::uint32_t> next_in_queue(messages.size(), kNoMessage);
+  std::vector<std::uint32_t> queue_head(index.num_channels(), kNoMessage);  // analyze:allow-hot-alloc(per-batch queue state sized once)
+  std::vector<std::uint32_t> queue_tail(index.num_channels(), kNoMessage);  // analyze:allow-hot-alloc(per-batch queue state sized once)
+  std::vector<std::uint32_t> next_in_queue(messages.size(), kNoMessage);  // analyze:allow-hot-alloc(per-batch queue state sized once)
   std::vector<std::uint32_t> active;  // channels with a non-empty queue
 
   // Per-channel transmission counts, accumulated densely; `used` remembers
   // first touches so aggregation never scans the whole channel space.
-  std::vector<std::uint64_t> channel_load(index.num_channels(), 0);
+  std::vector<std::uint64_t> channel_load(index.num_channels(), 0);  // analyze:allow-hot-alloc(per-batch load accumulators sized once)
   std::vector<std::uint32_t> used_channels;
 
   // Two-bucket calendar: a hop costs exactly one step, so every transmission
@@ -137,7 +142,7 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
     // processed in ascending id order (the deterministic FIFO tie-break).
     std::uint64_t injected_now = 0;
     while (injected < injections.size() && injections[injected].first == t) {
-      arrivals.push_back(injections[injected].second);
+      arrivals.push_back(injections[injected].second);  // analyze:allow-hot-alloc(amortized calendar bucket; capacity is retained across steps)
       ++injected;
       ++injected_now;
     }
@@ -156,7 +161,7 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
       next_in_queue[id] = kNoMessage;
       if (queue_head[channel] == kNoMessage) {
         queue_head[channel] = queue_tail[channel] = id;
-        active.push_back(channel);
+        active.push_back(channel);  // analyze:allow-hot-alloc(active list bounded by channels; capacity retained across steps)
       } else {
         next_in_queue[queue_tail[channel]] = id;
         queue_tail[channel] = id;
@@ -176,9 +181,10 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
         const std::uint32_t id = queue_head[channel];
         queue_head[channel] = next_in_queue[id];
         ++hop_cursor[id];
+        // analyze:allow-hot-alloc(first-touch record, one append per distinct channel)
         if (channel_load[channel] == 0) used_channels.push_back(channel);
         ++channel_load[channel];
-        next_arrivals.push_back(id);
+        next_arrivals.push_back(id);  // analyze:allow-hot-alloc(amortized calendar bucket; capacity is retained across steps)
       }
       if (queue_head[channel] == kNoMessage) {
         queue_tail[channel] = kNoMessage;
@@ -235,6 +241,7 @@ TrafficResult run_traffic(const Topology& graph, const EdgeSampler& sampler,
   return result;
 }
 
+// analyze:det-root(CLI result table: every value must be run-stable)
 Table traffic_table(const TrafficResult& result) {
   Table table({"metric", "value"});
   table.add_row({"messages", Table::fmt(result.messages)});

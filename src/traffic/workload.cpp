@@ -7,6 +7,7 @@
 
 #include "random/rng.hpp"
 
+// analyze:allow-file-throw-safety(workload parse and validation errors raised during generation, before the delivery engine runs)
 namespace faultroute {
 
 namespace {

@@ -38,6 +38,17 @@ compiler, a grep in a reviewer's head) knows about:
       resolves to a real file under src/ (catching stale paths before the
       compiler's error novel does).
 
+  no-ambient-entropy
+      `rand(`, `srand(`, `time(nullptr)` and `std::chrono::system_clock` are
+      banned outside src/random (the one seeded-RNG home) and src/obs (the
+      one wall-clock home): every result in this repo is bit-identical given
+      a seed, and an ambient entropy or wall-clock read anywhere else breaks
+      that silently. The semantic analyzer (tools/analyze) proves the
+      call-graph version of this; the textual rule catches what never
+      compiles into the call graph (macros, dead branches, new files). A
+      deliberate exception carries `// lint:allow-entropy(<reason>)` on the
+      same or the previous line.
+
 Usage:
     tools/lint/faultroute_lint.py [--root DIR]     # lint the tree
     tools/lint/faultroute_lint.py --self-test      # prove each rule fires
@@ -88,10 +99,13 @@ HOT_PATH_DIRS = (
 #   shared_probe_cache: tri-state CAS publication of pure-function values
 #   counter_registry / phase_profiler: thread-owned slots, read at joins
 #   indexed_memo: epoch-stamped memo of pure-function values
+#   parallel: work-stealing ticket counter; RMWs on one atomic are totally
+#     ordered and thread join publishes the bodies' writes
 #   test_concurrency_stress: the stress suite exercising all of the above
 RELAXED_ALLOWLIST = {
     Path("src") / "traffic" / "shared_probe_cache.hpp",
     Path("src") / "traffic" / "shared_probe_cache.cpp",
+    Path("src") / "core" / "parallel.cpp",
     Path("src") / "obs" / "counter_registry.cpp",
     Path("src") / "obs" / "counter_registry.hpp",
     Path("src") / "obs" / "phase_profiler.cpp",
@@ -99,12 +113,29 @@ RELAXED_ALLOWLIST = {
     Path("tests") / "test_concurrency_stress.cpp",
 }
 
+# Directories whose files may read entropy / the wall clock.
+ENTROPY_EXEMPT_DIRS = (
+    Path("src") / "random",
+    Path("src") / "obs",
+)
+
 COUNTER_PATH_RE = re.compile(
     r'^(?:' + "|".join(COUNTER_NAMESPACES) + r')\.[a-z0-9_]+(?:\.[a-z0-9_]+)*$'
 )
 SCHEMA_ID_RE = re.compile(r'faultroute\.[a-z0-9_.]+\.v[0-9]+')
 ALLOW_HASH_RE = re.compile(r'lint:allow-hash\([^)]+\)')
 HASH_CONTAINER_RE = re.compile(r'\bunordered_(?:map|set)\b')
+ALLOW_ENTROPY_RE = re.compile(r'lint:allow-entropy\([^)]+\)')
+# Each pattern is (regex, human name). `rand(` uses a lookbehind so that
+# `srand(` (matched separately) and identifiers like `hash_grand(` don't
+# double-report, and `time(nullptr)` tolerates interior whitespace.
+ENTROPY_PATTERNS = (
+    (re.compile(r'(?<![A-Za-z0-9_])rand\s*\('), "rand()"),
+    (re.compile(r'(?<![A-Za-z0-9_])srand\s*\('), "srand()"),
+    (re.compile(r'(?<![A-Za-z0-9_])time\s*\(\s*nullptr\s*\)'), "time(nullptr)"),
+    (re.compile(r'\bsystem_clock\b'), "std::chrono::system_clock"),
+    (re.compile(r'\brandom_device\b'), "std::random_device"),
+)
 
 
 class Violation:
@@ -349,12 +380,38 @@ def check_include_hygiene(root: Path) -> list[Violation]:
     return violations
 
 
+def check_no_ambient_entropy(root: Path) -> list[Violation]:
+    violations = []
+    for path in cxx_files(root):
+        rel = path.relative_to(root)
+        if any(d in rel.parents for d in ENTROPY_EXEMPT_DIRS):
+            continue
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        stripped_lines = strip_comments("\n".join(raw_lines)).splitlines()
+        for idx, code in enumerate(stripped_lines):
+            for pattern, name in ENTROPY_PATTERNS:
+                if not pattern.search(code):
+                    continue
+                here = raw_lines[idx] if idx < len(raw_lines) else ""
+                prev = raw_lines[idx - 1] if idx > 0 else ""
+                if ALLOW_ENTROPY_RE.search(here) or ALLOW_ENTROPY_RE.search(prev):
+                    continue
+                violations.append(
+                    Violation("no-ambient-entropy", rel, idx + 1,
+                              f"{name} outside src/random and src/obs breaks "
+                              "seeded bit-identical results; use the seeded "
+                              "Rng / obs clocks, or tag a deliberate "
+                              "exception with '// lint:allow-entropy(<reason>)'"))
+    return violations
+
+
 RULES = {
     "counters-manifest": check_counters_manifest,
     "schema-single-definition": check_schema_single_definition,
     "no-hash-in-hot-paths": check_no_hash_in_hot_paths,
     "relaxed-ordering-allowlist": check_relaxed_ordering,
     "include-hygiene": check_include_hygiene,
+    "no-ambient-entropy": check_no_ambient_entropy,
 }
 
 
@@ -479,6 +536,46 @@ def self_test() -> int:
                               '{ a.load(std::memory_order_relaxed); }\n'),
           "relaxed ordering in an allowlisted file is NOT reported",
           expect_count=0)
+
+    # no-ambient-entropy
+    fires("no-ambient-entropy",
+          lambda root: _write(root, "src/traffic/jitter.cpp",
+                              '#include <cstdlib>\n'
+                              'int f() { return std::rand() % 7; }\n'),
+          "rand() outside the exempt dirs is reported")
+    fires("no-ambient-entropy",
+          lambda root: _write(root, "src/scenario/seed.cpp",
+                              '#include <ctime>\n'
+                              'long f() { srand(1); return time(nullptr); }\n'),
+          "srand() and time(nullptr) are both reported", expect_count=2)
+    fires("no-ambient-entropy",
+          lambda root: _write(root, "src/traffic/stamp.cpp",
+                              '#include <chrono>\n'
+                              'auto f() { return '
+                              'std::chrono::system_clock::now(); }\n'),
+          "system_clock outside src/obs is reported")
+    fires("no-ambient-entropy",
+          lambda root: _write(root, "src/obs/wallclock.cpp",
+                              '#include <chrono>\n'
+                              'auto f() { return '
+                              'std::chrono::system_clock::now(); }\n'),
+          "system_clock inside src/obs is NOT reported", expect_count=0)
+    fires("no-ambient-entropy",
+          lambda root: _write(root, "src/random/device.cpp",
+                              '#include <random>\n'
+                              'unsigned f() { std::random_device d; return d(); }\n'),
+          "random_device inside src/random is NOT reported", expect_count=0)
+    fires("no-ambient-entropy",
+          lambda root: _write(root, "src/traffic/tagged.cpp",
+                              '#include <cstdlib>\n'
+                              '// lint:allow-entropy(demo of the escape hatch)\n'
+                              'int f() { return std::rand(); }\n'),
+          "tagged entropy use is NOT reported", expect_count=0)
+    fires("no-ambient-entropy",
+          lambda root: _write(root, "src/traffic/strand.cpp",
+                              'int strand(int x);\n'
+                              'int f() { return strand(3); }\n'),
+          "identifier merely ending in rand is NOT reported", expect_count=0)
 
     # include-hygiene
     fires("include-hygiene",
