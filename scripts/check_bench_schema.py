@@ -10,6 +10,7 @@ Understands every schema the bench suite and the CLI emit — the report's
   * faultroute.bench.routing.v1   (bench_routing: dense vs hash probe state)
   * faultroute.bench.adjacency.v1 (bench_adjacency: flat CSR vs implicit)
   * faultroute.bench.frontier.v1  (bench_frontier: batched frontier vs per-message)
+  * faultroute.bench.snapshot.v1  (bench_snapshot: mmap warm start vs cold build)
   * faultroute.metrics.v1         (any subcommand's --metrics report)
   * faultroute.analyze.v1         (faultroute_analyze --json contract report)
 
@@ -27,6 +28,7 @@ DELIVERY_SCHEMA = "faultroute.bench.delivery.v1"
 ROUTING_SCHEMA = "faultroute.bench.routing.v1"
 ADJACENCY_SCHEMA = "faultroute.bench.adjacency.v1"
 FRONTIER_SCHEMA = "faultroute.bench.frontier.v1"
+SNAPSHOT_SCHEMA = "faultroute.bench.snapshot.v1"
 METRICS_SCHEMA = "faultroute.metrics.v1"
 ANALYZE_SCHEMA = "faultroute.analyze.v1"
 SCHEMA_VERSION = 1
@@ -131,6 +133,25 @@ FRONTIER_BENCHMARK_FIELDS = {
     "unique_edges_probed": int,
     "batch_routing_ms": (int, float),
     "permsg_routing_ms": (int, float),
+    "speedup": (int, float),
+    "identical": bool,
+}
+
+SNAPSHOT_TOP_LEVEL = {
+    "schema": str,
+    "schema_version": int,
+    "quick": bool,
+    "benchmarks": list,
+}
+
+SNAPSHOT_BENCHMARK_FIELDS = {
+    "name": str,
+    "vertices": int,
+    "channels": int,
+    "payload_bytes": int,
+    "build_ms": (int, float),
+    "write_ms": (int, float),
+    "open_ms": (int, float),
     "speedup": (int, float),
     "identical": bool,
 }
@@ -316,6 +337,22 @@ def check_frontier(report: dict) -> None:
             fail(f"{where}: no cells executed")
 
 
+def check_snapshot(report: dict) -> None:
+    check_common_top_level(report, SNAPSHOT_TOP_LEVEL)
+    for i, bench in enumerate(report["benchmarks"]):
+        where = f"benchmarks[{i}]"
+        check_fields(bench, SNAPSHOT_BENCHMARK_FIELDS, where)
+        if not bench["identical"]:
+            fail(f"{where} ('{bench['name']}'): mapped view disagrees with the "
+                 "owning build (identical=false)")
+        if bench["vertices"] <= 0 or bench["channels"] <= 0:
+            fail(f"{where}: empty topology (vertices/channels must be positive)")
+        if bench["payload_bytes"] <= 0:
+            fail(f"{where}: payload_bytes must be positive")
+        if bench["build_ms"] < 0 or bench["write_ms"] < 0 or bench["open_ms"] < 0:
+            fail(f"{where}: negative time")
+
+
 def check_metrics(report: dict) -> None:
     check_fields(report, METRICS_TOP_LEVEL, "top level")
     if report["schema_version"] != SCHEMA_VERSION:
@@ -434,6 +471,7 @@ CHECKERS = {
     ROUTING_SCHEMA: (check_routing, summarize_bench),
     ADJACENCY_SCHEMA: (check_adjacency, summarize_bench),
     FRONTIER_SCHEMA: (check_frontier, summarize_bench),
+    SNAPSHOT_SCHEMA: (check_snapshot, summarize_bench),
     METRICS_SCHEMA: (check_metrics, summarize_metrics),
     ANALYZE_SCHEMA: (check_analyze, summarize_analyze),
 }

@@ -91,6 +91,25 @@ def valid_frontier_report():
     }
 
 
+def valid_snapshot_report():
+    return {
+        "schema": "faultroute.bench.snapshot.v1",
+        "schema_version": 1,
+        "quick": True,
+        "benchmarks": [{
+            "name": "hypercube:13",
+            "vertices": 8192,
+            "channels": 106496,
+            "payload_bytes": 2195464,
+            "build_ms": 7.1,
+            "write_ms": 2.1,
+            "open_ms": 0.6,
+            "speedup": 11.8,
+            "identical": True,
+        }],
+    }
+
+
 def valid_metrics_report():
     return {
         "schema": "faultroute.metrics.v1",
@@ -187,6 +206,27 @@ class BenchSchemaValidator(ValidatorCase):
 
     def test_accepts_valid_metrics_report(self):
         self.assert_accepts(self.SCRIPT, self.write_json("m.json", valid_metrics_report()))
+
+    def test_accepts_valid_snapshot_report(self):
+        self.assert_accepts(self.SCRIPT, self.write_json("s.json", valid_snapshot_report()))
+
+    def test_rejects_snapshot_view_disagreement(self):
+        report = valid_snapshot_report()
+        report["benchmarks"][0]["identical"] = False
+        self.assert_rejects(self.SCRIPT, self.write_json("s.json", report),
+                            "identical")
+
+    def test_rejects_snapshot_empty_payload(self):
+        report = valid_snapshot_report()
+        report["benchmarks"][0]["payload_bytes"] = 0
+        self.assert_rejects(self.SCRIPT, self.write_json("s.json", report),
+                            "payload_bytes")
+
+    def test_rejects_snapshot_negative_open_time(self):
+        report = valid_snapshot_report()
+        report["benchmarks"][0]["open_ms"] = -0.5
+        self.assert_rejects(self.SCRIPT, self.write_json("s.json", report),
+                            "negative time")
 
     def test_rejects_missing_field(self):
         report = valid_delivery_report()

@@ -12,16 +12,18 @@ FlatAdjacency::FlatAdjacency(const Topology& graph)
   // Global counter (not per-run): snapshots are often materialized by
   // library callers with no RunMetrics in scope, and a surprise count here
   // is exactly what --metrics should surface (e.g. an accidental rebuild
-  // per cell instead of one per topology).
+  // per cell instead of one per topology). Mapped-snapshot views (the
+  // constructor in snapshot.cpp) deliberately do not count — nothing is
+  // materialized there, which is what CI's warm-start check pins.
   obs::global_count("graph.flat_adjacency.materializations");
   const ChannelIndex& index = graph.channel_index();
   offsets_ = index.offsets_data();
   num_vertices_ = graph.num_vertices();
 
-  const std::uint32_t channels = index.num_channels();
-  neighbors_.resize(channels);
-  keys_.resize(channels);
-  edge_ids_.resize(channels);
+  num_channels_ = index.num_channels();
+  owned_neighbors_.resize(num_channels_);
+  owned_keys_.resize(num_channels_);
+  owned_edge_ids_.resize(num_channels_);
   // One pass in channel order: slot i of v lands at flat position
   // channel_of(v, i) by construction. The edge-id table is the index's own
   // (lazily built) channel -> undirected-edge-id map, copied so a hot-path
@@ -30,12 +32,15 @@ FlatAdjacency::FlatAdjacency(const Topology& graph)
   for (VertexId v = 0; v < num_vertices_; ++v) {
     const int deg = graph.degree(v);
     for (int i = 0; i < deg; ++i, ++channel) {
-      neighbors_[channel] = graph.neighbor(v, i);
-      keys_[channel] = graph.edge_key(v, i);
-      edge_ids_[channel] = index.edge_id_of(channel);
+      owned_neighbors_[channel] = graph.neighbor(v, i);
+      owned_keys_[channel] = graph.edge_key(v, i);
+      owned_edge_ids_[channel] = index.edge_id_of(channel);
     }
   }
   num_edge_ids_ = index.num_edge_ids();
+  neighbors_ = owned_neighbors_.data();
+  keys_ = owned_keys_.data();
+  edge_ids_ = owned_edge_ids_.data();
 }
 
 FlatAdjacency::~FlatAdjacency() = default;
@@ -75,7 +80,12 @@ const FlatAdjacency* resolve_adjacency(const Topology& graph, AdjacencyMode mode
     case AdjacencyMode::kImplicit:
       return nullptr;
     case AdjacencyMode::kAuto:
-      return graph.num_vertices() <= auto_budget_vertices ? &graph.flat_adjacency() : nullptr;
+      if (graph.num_vertices() <= auto_budget_vertices) return &graph.flat_adjacency();
+      // Falling back to virtual dispatch above budget is correct but slow;
+      // count it globally so large-graph perf regressions are visible in
+      // --metrics reports rather than only in wall clock.
+      obs::global_count("graph.flat_adjacency.auto_fallbacks");
+      return nullptr;
   }
   return nullptr;  // unreachable
 }

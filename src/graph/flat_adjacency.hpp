@@ -12,6 +12,7 @@
 namespace faultroute {
 
 class DistanceOracle;
+class MappedSnapshot;
 
 /// One-shot CSR (compressed-sparse-row) snapshot of a Topology's adjacency.
 ///
@@ -35,6 +36,14 @@ class DistanceOracle;
 /// below selects per call site, and kAuto materializes only when
 /// num_vertices() fits a budget.
 ///
+/// Besides the owning build above, a snapshot can be a *non-owning view*
+/// over a memory-mapped on-disk snapshot (graph/snapshot.hpp): the view
+/// constructor points the same hot-path arrays into the mapped region, so
+/// every accessor below is oblivious to the storage mode and a warm start
+/// pages the CSR in instead of rebuilding it. A view performs no
+/// materialization work at all — it neither builds the ChannelIndex nor
+/// counts a graph.flat_adjacency.materializations.
+///
 /// All methods are const, O(1), and thread-safe; every value is a pure
 /// function of the topology, equal slot-for-slot to the virtual interface
 /// (held by tests/test_flat_adjacency.cpp across every topology family).
@@ -44,6 +53,11 @@ class FlatAdjacency {
   /// for offsets and edge ids). Prefer Topology::flat_adjacency(), which
   /// builds lazily once and caches. `graph` must outlive the snapshot.
   explicit FlatAdjacency(const Topology& graph);
+  /// Non-owning view over a verified mapped snapshot of `graph`'s adjacency
+  /// (keeps the mapping alive; see graph/snapshot.hpp). Throws
+  /// std::runtime_error if the snapshot's vertex count does not match
+  /// `graph`. Defined in snapshot.cpp.
+  FlatAdjacency(const Topology& graph, std::shared_ptr<const MappedSnapshot> snapshot);
   ~FlatAdjacency();  // out of line: DistanceOracle is incomplete here
 
   /// The snapshot's cached fault-free DistanceOracle (graph/distance_oracle
@@ -55,10 +69,10 @@ class FlatAdjacency {
 
   [[nodiscard]] const Topology& graph() const { return *graph_; }
   [[nodiscard]] std::uint64_t num_vertices() const { return num_vertices_; }
-  [[nodiscard]] std::uint32_t num_channels() const {
-    return static_cast<std::uint32_t>(neighbors_.size());
-  }
+  [[nodiscard]] std::uint32_t num_channels() const { return num_channels_; }
   [[nodiscard]] std::uint32_t num_edge_ids() const { return num_edge_ids_; }
+  /// True for a mapped-snapshot view, false for an owning build.
+  [[nodiscard]] bool is_view() const { return snapshot_ != nullptr; }
 
   /// Flat positions of v's incident-slot row; position p == channel id p.
   [[nodiscard]] std::uint64_t row_begin(VertexId v) const { return offsets_[v]; }
@@ -90,21 +104,41 @@ class FlatAdjacency {
   [[nodiscard]] std::uint32_t edge_id_at(std::uint64_t pos) const { return edge_ids_[pos]; }
 
   /// Bytes owned by the snapshot arrays (excluding the borrowed offsets).
+  /// A mapped view owns nothing — its pages belong to the file mapping.
   [[nodiscard]] std::uint64_t memory_bytes() const {
-    return neighbors_.size() * (sizeof(VertexId) + sizeof(EdgeKey) + sizeof(std::uint32_t));
+    return owned_neighbors_.size() *
+           (sizeof(VertexId) + sizeof(EdgeKey) + sizeof(std::uint32_t));
   }
+
+  /// Raw array views for the on-disk snapshot writer (graph/snapshot.cpp):
+  /// offsets has num_vertices() + 1 entries, the rest num_channels() each.
+  [[nodiscard]] const std::uint64_t* offsets_data() const { return offsets_; }
+  [[nodiscard]] const VertexId* neighbors_data() const { return neighbors_; }
+  [[nodiscard]] const EdgeKey* keys_data() const { return keys_; }
+  [[nodiscard]] const std::uint32_t* edge_ids_data() const { return edge_ids_; }
 
  private:
   const Topology* graph_;
-  const std::uint64_t* offsets_;  // borrowed from the topology's ChannelIndex
+  const std::uint64_t* offsets_;  // ChannelIndex's table, or the mapped region
   std::uint64_t num_vertices_ = 0;
+  std::uint32_t num_channels_ = 0;
   std::uint32_t num_edge_ids_ = 0;
-  std::vector<VertexId> neighbors_;       // per channel
-  std::vector<EdgeKey> keys_;             // per channel
-  std::vector<std::uint32_t> edge_ids_;   // per channel
+  // Hot-path array views (per channel): into the owned vectors below for a
+  // built snapshot, into the mapped region for a view. The accessors above
+  // only ever touch these pointers, so both modes cost the same two loads.
+  const VertexId* neighbors_ = nullptr;
+  const EdgeKey* keys_ = nullptr;
+  const std::uint32_t* edge_ids_ = nullptr;
+  // Owning storage (empty in view mode).
+  std::vector<VertexId> owned_neighbors_;
+  std::vector<EdgeKey> owned_keys_;
+  std::vector<std::uint32_t> owned_edge_ids_;
+  // View mode: keeps the mapping (and with it every pointer above) alive.
+  std::shared_ptr<const MappedSnapshot> snapshot_;
 
   // Lazy distance-oracle cache (the once_flag makes the snapshot
-  // non-copyable, which is right: it is always owned by its Topology).
+  // non-copyable, which is right: it is always owned by its Topology or by
+  // the snapshot-view holder).
   mutable std::once_flag oracle_once_;
   mutable std::unique_ptr<DistanceOracle> oracle_;
 };
@@ -131,7 +165,10 @@ inline constexpr std::uint64_t kDefaultFlatBudgetVertices = 1ull << 20;
 
 /// Resolves a mode against a topology: the cached snapshot for kFlat,
 /// nullptr (= use the virtual interface) for kImplicit, and for kAuto the
-/// snapshot iff num_vertices() <= auto_budget_vertices.
+/// snapshot iff num_vertices() <= auto_budget_vertices. A kAuto fall-back
+/// to virtual dispatch is counted in graph.flat_adjacency.auto_fallbacks
+/// (docs/COUNTERS.md), so a sweep silently losing the CSR fast path on a
+/// large graph shows up in --metrics instead of only in wall clock.
 [[nodiscard]] const FlatAdjacency* resolve_adjacency(
     const Topology& graph, AdjacencyMode mode,
     std::uint64_t auto_budget_vertices = kDefaultFlatBudgetVertices);

@@ -1,0 +1,371 @@
+#include "graph/snapshot.hpp"
+
+// analyze:allow-file-throw-safety(snapshot open/build is cold per-topology setup; corruption diagnostics are required to throw rather than fall back to a rebuild)
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/flat_adjacency.hpp"
+#include "obs/build_info.hpp"
+#include "obs/counter_registry.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FAULTROUTE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace faultroute {
+
+namespace {
+
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Byte offsets of the fixed header fields (see the layout table in
+/// snapshot.hpp — this block IS the format definition).
+inline constexpr std::size_t kOffMagic = 0;
+inline constexpr std::size_t kOffVersion = 8;
+inline constexpr std::size_t kOffHeaderBytes = 12;
+inline constexpr std::size_t kOffNumVertices = 16;
+inline constexpr std::size_t kOffNumChannels = 24;
+inline constexpr std::size_t kOffNumEdgeIds = 28;
+inline constexpr std::size_t kOffPayloadBytes = 32;
+inline constexpr std::size_t kOffPayloadChecksum = 40;
+inline constexpr std::size_t kOffSpec = 48;
+inline constexpr std::size_t kOffProvenance = kOffSpec + snap::kSpecBytes;
+inline constexpr std::size_t kOffHeaderChecksum = snap::kHeaderBytes - 8;
+
+[[noreturn]] void fail(const std::string& path, const std::string& field,
+                       const std::string& why) {
+  throw std::runtime_error("snapshot '" + path + "': " + why + " (field " + field + ")");
+}
+
+void require_little_endian(const std::string& path) {
+  if constexpr (std::endian::native != std::endian::little) {
+    throw std::runtime_error("snapshot '" + path +
+                             "': faultroute.snap files are little-endian and this host "
+                             "is not; refusing to byte-swap silently");
+  }
+}
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Folds a u32 array into the word checksum exactly as it lands in the file:
+/// pairs of consecutive values form one little-endian word, an odd tail is
+/// zero-padded (matching the file's zero pad bytes).
+std::uint64_t fnv1a_u32_words(const std::uint32_t* values, std::size_t count,
+                              std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i + 1 < count; i += 2) {
+    const std::uint64_t word =
+        static_cast<std::uint64_t>(values[i]) | (static_cast<std::uint64_t>(values[i + 1]) << 32);
+    h = (h ^ word) * kFnvPrime;
+  }
+  if (count % 2 != 0) h = (h ^ static_cast<std::uint64_t>(values[count - 1])) * kFnvPrime;
+  return h;
+}
+
+/// Payload byte count for a (vertices, channels) shape: three u64 arrays
+/// plus the u32 edge-id array, zero-padded to a whole number of words.
+std::uint64_t payload_bytes_for(std::uint64_t num_vertices, std::uint32_t num_channels) {
+  const std::uint64_t c = num_channels;
+  return (num_vertices + 1) * 8 + c * 8 + c * 8 + ((c * 4 + 7) / 8) * 8;
+}
+
+std::string fixed_field_string(const unsigned char* base, std::size_t size) {
+  const char* chars = reinterpret_cast<const char*>(base);
+  std::size_t len = 0;
+  while (len < size && chars[len] != '\0') ++len;
+  return std::string(chars, len);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_words(const std::uint64_t* words, std::size_t count, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < count; ++i) h = (h ^ words[i]) * kFnvPrime;
+  return h;
+}
+
+std::string snapshot_filename(const std::string& topology_spec) {
+  std::string name;
+  name.reserve(topology_spec.size() + 5);
+  for (const char c : topology_spec) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    name += keep ? c : '_';
+  }
+  return name + ".snap";
+}
+
+std::string snapshot_path(const std::string& dir, const std::string& topology_spec) {
+  return (std::filesystem::path(dir) / snapshot_filename(topology_spec)).string();
+}
+
+void write_snapshot(const std::string& path, const std::string& topology_spec,
+                    const FlatAdjacency& flat) {
+  require_little_endian(path);
+  if (topology_spec.size() >= snap::kSpecBytes) {
+    throw std::invalid_argument("snapshot '" + path + "': topology spec '" + topology_spec +
+                                "' exceeds the " + std::to_string(snap::kSpecBytes - 1) +
+                                "-byte header field (field topology_spec)");
+  }
+  const std::uint64_t num_vertices = flat.num_vertices();
+  const std::uint32_t num_channels = flat.num_channels();
+  const std::uint64_t payload_bytes = payload_bytes_for(num_vertices, num_channels);
+
+  // The arrays are checksummed in file order; fnv1a_u32_words reproduces
+  // the edge-id tail word's zero padding, so this chained fold equals one
+  // word scan of the payload on re-open.
+  std::uint64_t payload_checksum = fnv1a_words(flat.offsets_data(), num_vertices + 1);
+  payload_checksum = fnv1a_words(flat.neighbors_data(), num_channels, payload_checksum);
+  payload_checksum = fnv1a_words(flat.keys_data(), num_channels, payload_checksum);
+  payload_checksum = fnv1a_u32_words(flat.edge_ids_data(), num_channels, payload_checksum);
+
+  alignas(8) std::array<unsigned char, snap::kHeaderBytes> header{};
+  std::memcpy(header.data() + kOffMagic, snap::kMagic, sizeof snap::kMagic);
+  put_u32(header.data() + kOffVersion, snap::kVersion);
+  put_u32(header.data() + kOffHeaderBytes, snap::kHeaderBytes);
+  put_u64(header.data() + kOffNumVertices, num_vertices);
+  put_u32(header.data() + kOffNumChannels, num_channels);
+  put_u32(header.data() + kOffNumEdgeIds, flat.num_edge_ids());
+  put_u64(header.data() + kOffPayloadBytes, payload_bytes);
+  put_u64(header.data() + kOffPayloadChecksum, payload_checksum);
+  std::memcpy(header.data() + kOffSpec, topology_spec.data(), topology_spec.size());
+  const std::string& provenance = obs::build_info().git_hash;
+  std::memcpy(header.data() + kOffProvenance, provenance.data(),
+              std::min(provenance.size(), snap::kProvenanceBytes - 1));
+  put_u64(header.data() + kOffHeaderChecksum,
+          fnv1a_words(reinterpret_cast<const std::uint64_t*>(header.data()),
+                      kOffHeaderChecksum / 8));
+
+  // Write to a temporary sibling and rename into place: readers either see
+  // the complete verified file or none at all, never a torn write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("snapshot '" + path + "': cannot write '" + tmp + "'");
+    const auto put = [&](const void* data, std::uint64_t bytes) {
+      out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    };
+    put(header.data(), header.size());
+    put(flat.offsets_data(), (num_vertices + 1) * 8);
+    put(flat.neighbors_data(), static_cast<std::uint64_t>(num_channels) * 8);
+    put(flat.keys_data(), static_cast<std::uint64_t>(num_channels) * 8);
+    put(flat.edge_ids_data(), static_cast<std::uint64_t>(num_channels) * 4);
+    const std::array<char, 8> pad{};
+    const std::uint64_t unpadded = (num_vertices + 1) * 8 +
+                                   static_cast<std::uint64_t>(num_channels) * 20;
+    if (payload_bytes != unpadded) {
+      out.write(pad.data(), static_cast<std::streamsize>(payload_bytes - unpadded));
+    }
+    out.flush();
+    if (!out) throw std::runtime_error("snapshot '" + path + "': write to '" + tmp + "' failed");
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+SnapshotInfo read_snapshot_info(const std::string& path) {
+  return MappedSnapshot::open(path)->info();
+}
+
+MappedSnapshot::~MappedSnapshot() {
+#ifdef FAULTROUTE_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), static_cast<std::size_t>(size_));
+  }
+#endif
+}
+
+std::shared_ptr<const MappedSnapshot> MappedSnapshot::open(const std::string& path) {
+  require_little_endian(path);
+  std::shared_ptr<MappedSnapshot> snap(new MappedSnapshot());
+  snap->path_ = path;
+
+  std::uint64_t file_size = 0;
+#ifdef FAULTROUTE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) throw std::runtime_error("snapshot '" + path + "': cannot open file");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw std::runtime_error("snapshot '" + path + "': cannot stat file");
+  }
+  file_size = static_cast<std::uint64_t>(st.st_size);
+  if (file_size < snap::kHeaderBytes) {
+    ::close(fd);
+    fail(path, "header_bytes",
+         "truncated: file is " + std::to_string(file_size) + " bytes, the fixed header needs " +
+             std::to_string(snap::kHeaderBytes));
+  }
+  void* mapping = ::mmap(nullptr, static_cast<std::size_t>(file_size), PROT_READ, MAP_SHARED,
+                         fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) {
+    throw std::runtime_error("snapshot '" + path + "': mmap failed");
+  }
+  snap->data_ = static_cast<const unsigned char*>(mapping);
+  snap->mmapped_ = true;
+#else
+  // Portable fallback: read the bytes into an owned word-aligned buffer —
+  // identical semantics, no page sharing.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("snapshot '" + path + "': cannot open file");
+  file_size = static_cast<std::uint64_t>(in.tellg());
+  if (file_size < snap::kHeaderBytes) {
+    fail(path, "header_bytes",
+         "truncated: file is " + std::to_string(file_size) + " bytes, the fixed header needs " +
+             std::to_string(snap::kHeaderBytes));
+  }
+  snap->owned_ = std::make_unique<std::uint64_t[]>((file_size + 7) / 8);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(snap->owned_.get()),
+          static_cast<std::streamsize>(file_size));
+  if (!in) throw std::runtime_error("snapshot '" + path + "': short read");
+  snap->data_ = reinterpret_cast<const unsigned char*>(snap->owned_.get());
+#endif
+  snap->size_ = file_size;
+
+  const unsigned char* base = snap->data_;
+  if (std::memcmp(base + kOffMagic, snap::kMagic, sizeof snap::kMagic) != 0) {
+    fail(path, "magic", "not a faultroute.snap file (bad magic)");
+  }
+  const std::uint32_t version = get_u32(base + kOffVersion);
+  if (version != snap::kVersion) {
+    fail(path, "version",
+         "unsupported format version " + std::to_string(version) + ", this build reads " +
+             std::to_string(snap::kVersion));
+  }
+  const std::uint32_t header_bytes = get_u32(base + kOffHeaderBytes);
+  if (header_bytes != snap::kHeaderBytes) {
+    fail(path, "header_bytes",
+         "header size " + std::to_string(header_bytes) + " != " +
+             std::to_string(snap::kHeaderBytes));
+  }
+  const std::uint64_t header_checksum = get_u64(base + kOffHeaderChecksum);
+  const std::uint64_t computed_header =
+      fnv1a_words(reinterpret_cast<const std::uint64_t*>(base), kOffHeaderChecksum / 8);
+  if (header_checksum != computed_header) {
+    fail(path, "header_checksum", "header checksum mismatch — the header is corrupt");
+  }
+
+  SnapshotInfo& info = snap->info_;
+  info.version = version;
+  info.num_vertices = get_u64(base + kOffNumVertices);
+  info.num_channels = get_u32(base + kOffNumChannels);
+  info.num_edge_ids = get_u32(base + kOffNumEdgeIds);
+  info.payload_bytes = get_u64(base + kOffPayloadBytes);
+  info.payload_checksum = get_u64(base + kOffPayloadChecksum);
+  info.header_checksum = header_checksum;
+  info.topology_spec = fixed_field_string(base + kOffSpec, snap::kSpecBytes);
+  info.provenance = fixed_field_string(base + kOffProvenance, snap::kProvenanceBytes);
+
+  const std::uint64_t expected_payload =
+      payload_bytes_for(info.num_vertices, info.num_channels);
+  if (info.payload_bytes != expected_payload) {
+    fail(path, "payload_bytes",
+         "payload size " + std::to_string(info.payload_bytes) + " is inconsistent with " +
+             std::to_string(info.num_vertices) + " vertices / " +
+             std::to_string(info.num_channels) + " channels (expected " +
+             std::to_string(expected_payload) + ")");
+  }
+  if (file_size != snap::kHeaderBytes + info.payload_bytes) {
+    fail(path, "payload_bytes",
+         "truncated: file is " + std::to_string(file_size) + " bytes, header + payload need " +
+             std::to_string(snap::kHeaderBytes + info.payload_bytes));
+  }
+  // This scan both verifies integrity and pages the whole payload in, so
+  // the first routed message never stalls on major faults mid-batch.
+  const std::uint64_t computed_payload = fnv1a_words(
+      reinterpret_cast<const std::uint64_t*>(base + snap::kHeaderBytes), info.payload_bytes / 8);
+  if (computed_payload != info.payload_checksum) {
+    fail(path, "payload_checksum", "payload checksum mismatch — the CSR arrays are corrupt");
+  }
+  return snap;
+}
+
+const std::uint64_t* MappedSnapshot::offsets() const {
+  return reinterpret_cast<const std::uint64_t*>(data_ + snap::kHeaderBytes);
+}
+const VertexId* MappedSnapshot::neighbors() const {
+  return reinterpret_cast<const VertexId*>(data_ + snap::kHeaderBytes +
+                                           (info_.num_vertices + 1) * 8);
+}
+const EdgeKey* MappedSnapshot::keys() const {
+  return reinterpret_cast<const EdgeKey*>(
+      data_ + snap::kHeaderBytes + (info_.num_vertices + 1) * 8 +
+      static_cast<std::uint64_t>(info_.num_channels) * 8);
+}
+const std::uint32_t* MappedSnapshot::edge_ids() const {
+  return reinterpret_cast<const std::uint32_t*>(
+      data_ + snap::kHeaderBytes + (info_.num_vertices + 1) * 8 +
+      static_cast<std::uint64_t>(info_.num_channels) * 16);
+}
+
+// Defined here rather than in flat_adjacency.cpp so the hot-path translation
+// unit stays free of filesystem/mmap concerns.
+FlatAdjacency::FlatAdjacency(const Topology& graph,
+                             std::shared_ptr<const MappedSnapshot> snapshot)
+    : graph_(&graph), offsets_(snapshot->offsets()), snapshot_(std::move(snapshot)) {
+  const SnapshotInfo& info = snapshot_->info();
+  if (info.num_vertices != graph.num_vertices()) {
+    fail(snapshot_->path(), "num_vertices",
+         "snapshot has " + std::to_string(info.num_vertices) +
+             " vertices but the topology has " + std::to_string(graph.num_vertices()));
+  }
+  // Deliberately NOT counted as a graph.flat_adjacency.materializations —
+  // nothing is materialized; that counter staying at zero is how CI pins
+  // the warm-start property.
+  num_vertices_ = info.num_vertices;
+  num_channels_ = info.num_channels;
+  num_edge_ids_ = info.num_edge_ids;
+  neighbors_ = snapshot_->neighbors();
+  keys_ = snapshot_->keys();
+  edge_ids_ = snapshot_->edge_ids();
+}
+
+std::unique_ptr<FlatAdjacency> open_snapshot_adjacency(const std::string& dir,
+                                                       const std::string& topology_spec,
+                                                       const Topology& graph) {
+  const std::string path = snapshot_path(dir, topology_spec);
+  if (!std::filesystem::exists(path)) {
+    // Absent file = cache miss: the caller falls back to materializing.
+    obs::global_count("graph.snapshot.misses");
+    return nullptr;
+  }
+  // A *present* file must verify — corruption throws, it never rebuilds.
+  // analyze:cold(one-time snapshot open and checksum scan per topology, off every routing loop)
+  const std::shared_ptr<const MappedSnapshot> snapshot = MappedSnapshot::open(path);
+  if (snapshot->info().topology_spec != topology_spec) {
+    fail(path, "topology_spec",
+         "snapshot was built from '" + snapshot->info().topology_spec + "', expected '" +
+             topology_spec + "'");
+  }
+  obs::global_count("graph.snapshot.hits");
+  obs::global_count("graph.snapshot.bytes_mapped", snapshot->mapped_bytes());
+  return std::make_unique<FlatAdjacency>(graph, snapshot);
+}
+
+}  // namespace faultroute

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/topology.hpp"
+
+namespace faultroute {
+
+class FlatAdjacency;
+
+/// On-disk CSR adjacency snapshots — the `faultroute.snap.v1` format.
+///
+/// A snapshot persists everything FlatAdjacency materializes from a
+/// topology (the ChannelIndex offset prefix sums plus the neighbors / keys /
+/// edge-ids arrays) so a graph builds once and every later run — or several
+/// concurrent sharded processes — pages the arrays straight in via mmap
+/// instead of re-deriving them. The arrays are a pure function of the
+/// topology spec string, which is why a directory of snapshots can be keyed
+/// by spec (see snapshot_filename / open_snapshot_adjacency) and why a
+/// mapped view is bit-identical to a fresh build (tests/test_snapshot.cpp).
+///
+/// Layout (all integers fixed-width little-endian; the format is *defined*
+/// as little-endian and readers refuse to open on big-endian hosts rather
+/// than silently byte-swap):
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------------
+///        0     8  magic "FRSNAPv1"
+///        8     4  version (u32, == 1)
+///       12     4  header_bytes (u32, == 256)
+///       16     8  num_vertices (u64)
+///       24     4  num_channels (u32)
+///       28     4  num_edge_ids (u32)
+///       32     8  payload_bytes (u64; 8-byte multiple, zero-padded)
+///       40     8  payload_checksum (u64; see below)
+///       48   128  topology_spec (registry spec, NUL-padded)
+///      176    64  provenance (builder's git hash, NUL-padded)
+///      240     8  reserved (zero)
+///      248     8  header_checksum (u64 over header bytes [0, 248))
+///      256     .  payload: offsets    (num_vertices + 1) x u64
+///                          neighbors  num_channels x u64
+///                          keys       num_channels x u64
+///                          edge_ids   num_channels x u32  (+ pad to 8)
+///
+/// Checksums are 64-bit FNV-1a folded over 8-byte words (the header is a
+/// whole number of words and the payload is zero-padded to one), so
+/// verification on open is a single sequential scan of the mapped region —
+/// which doubles as the page-in pass. Every open verifies both checksums;
+/// any truncation or mismatch throws a diagnostic naming the offending
+/// field (magic, version, header_bytes, num_vertices, ..., payload_checksum)
+/// and never falls through to a silent rebuild.
+namespace snap {
+inline constexpr char kMagic[8] = {'F', 'R', 'S', 'N', 'A', 'P', 'v', '1'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::uint32_t kHeaderBytes = 256;
+inline constexpr std::size_t kSpecBytes = 128;   // topology_spec field width
+inline constexpr std::size_t kProvenanceBytes = 64;
+}  // namespace snap
+
+/// Decoded, checksum-verified snapshot header.
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint32_t num_channels = 0;
+  std::uint32_t num_edge_ids = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_checksum = 0;
+  std::uint64_t header_checksum = 0;
+  std::string topology_spec;  ///< registry spec the snapshot was built from
+  std::string provenance;     ///< builder's git hash (obs::build_info)
+};
+
+/// 64-bit FNV-1a folded over 8-byte words; the snapshot checksum primitive,
+/// exposed for tests and for the checkpoint journal's spec fingerprint.
+[[nodiscard]] std::uint64_t fnv1a_words(const std::uint64_t* words, std::size_t count,
+                                        std::uint64_t seed = 14695981039346656037ull);
+
+/// Canonical file name of a topology spec's snapshot within a snapshot
+/// directory: the spec with filesystem-hostile characters mapped to '_',
+/// suffixed ".snap". Collisions are harmless — the header's embedded spec
+/// string is authoritative and verified on open.
+[[nodiscard]] std::string snapshot_filename(const std::string& topology_spec);
+
+/// snapshot_filename joined onto `dir`.
+[[nodiscard]] std::string snapshot_path(const std::string& dir,
+                                        const std::string& topology_spec);
+
+/// Serializes `flat` (plus its borrowed offset table) as `topology_spec`'s
+/// snapshot at `path`, stamping the current build's provenance. Writes to a
+/// temporary sibling and renames, so a crashed build never leaves a
+/// truncated file under the final name. Throws std::runtime_error on I/O
+/// failure and std::invalid_argument if the spec exceeds the header field.
+void write_snapshot(const std::string& path, const std::string& topology_spec,
+                    const FlatAdjacency& flat);
+
+/// Opens, fully verifies (header + payload checksums, size consistency),
+/// and decodes the header of the snapshot at `path`. The `faultroute
+/// snapshot info` subcommand and the corrupt-fixture tests drive this.
+[[nodiscard]] SnapshotInfo read_snapshot_info(const std::string& path);
+
+/// A read-only mapping of one verified snapshot file.
+///
+/// POSIX hosts mmap the file (shared clean pages across concurrent
+/// processes — the sharded-sweep story); elsewhere the bytes are read into
+/// an owned buffer with identical semantics. Open verifies both checksums
+/// before returning, so the typed accessors below are only reachable on an
+/// intact file. Immutable after open; safe to share across threads.
+class MappedSnapshot {
+ public:
+  /// Opens and verifies `path`. Throws std::runtime_error with a diagnostic
+  /// naming the offending header field on any truncation/corruption.
+  [[nodiscard]] static std::shared_ptr<const MappedSnapshot> open(const std::string& path);
+  ~MappedSnapshot();
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+
+  [[nodiscard]] const SnapshotInfo& info() const { return info_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Bytes of the mapping (header + payload).
+  [[nodiscard]] std::uint64_t mapped_bytes() const { return size_; }
+  /// True when the region is a real mmap (vs the owned-buffer fallback).
+  [[nodiscard]] bool is_mmap() const { return mmapped_; }
+
+  /// Typed views into the payload arrays. Valid for the object's lifetime.
+  [[nodiscard]] const std::uint64_t* offsets() const;    // num_vertices + 1
+  [[nodiscard]] const VertexId* neighbors() const;       // num_channels
+  [[nodiscard]] const EdgeKey* keys() const;             // num_channels
+  [[nodiscard]] const std::uint32_t* edge_ids() const;   // num_channels
+
+ private:
+  MappedSnapshot() = default;
+
+  std::string path_;
+  SnapshotInfo info_;
+  const unsigned char* data_ = nullptr;  // mapping or owned buffer base
+  std::uint64_t size_ = 0;
+  bool mmapped_ = false;
+  std::unique_ptr<std::uint64_t[]> owned_;  // non-mmap fallback storage
+};
+
+/// Snapshot-directory cache lookup: opens `dir`'s snapshot for
+/// `topology_spec` as a non-owning FlatAdjacency view over `graph`.
+///
+/// Returns nullptr when no snapshot file exists for the spec (callers fall
+/// back to materializing — counted in graph.snapshot.misses). A file that
+/// exists but is truncated, checksum-mismatched, or embeds a different
+/// topology spec *throws* (never a silent rebuild). On success the counters
+/// graph.snapshot.hits / graph.snapshot.bytes_mapped record the open.
+[[nodiscard]] std::unique_ptr<FlatAdjacency> open_snapshot_adjacency(
+    const std::string& dir, const std::string& topology_spec, const Topology& graph);
+
+}  // namespace faultroute

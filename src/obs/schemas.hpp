@@ -26,6 +26,13 @@ inline constexpr const char* kBenchDelivery = "faultroute.bench.delivery.v1";
 inline constexpr const char* kBenchRouting = "faultroute.bench.routing.v1";
 inline constexpr const char* kBenchAdjacency = "faultroute.bench.adjacency.v1";
 inline constexpr const char* kBenchFrontier = "faultroute.bench.frontier.v1";
+inline constexpr const char* kBenchSnapshot = "faultroute.bench.snapshot.v1";
 inline constexpr int kBenchVersion = 1;
+
+/// Scenario checkpoint journals (scenario/checkpoint.hpp): the header line
+/// of every --checkpoint file names this schema, then one line per
+/// completed cell. Versioned like the reports because resume parses it.
+inline constexpr const char* kCheckpoint = "faultroute.checkpoint.v1";
+inline constexpr int kCheckpointVersion = 1;
 
 }  // namespace faultroute::obs::schemas

@@ -1,0 +1,194 @@
+#include "scenario/merge.hpp"
+
+// analyze:allow-file-throw-safety(merge is an offline post-processing step; incomplete or inconsistent shard sets must be refused loudly)
+
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+namespace faultroute::scenario {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t shard, const std::string& why) {
+  throw std::runtime_error("merge: shard " + std::to_string(shard + 1) + ": " + why);
+}
+
+/// Newline-terminated lines of one shard report (without the newlines).
+/// Reports always end in '\n'; trailing bytes without one mean the shard
+/// process died mid-write.
+std::vector<std::string> split_lines(std::size_t shard, const std::string& text) {
+  if (text.empty()) fail(shard, "report is empty");
+  if (text.back() != '\n') fail(shard, "report does not end in a newline (truncated?)");
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+/// Strict digit-run parse of lines[begin..) — merge inputs are
+/// machine-written, so anything unexpected is an error, not a shrug.
+std::uint64_t parse_digits(std::size_t shard, const std::string& line, std::size_t begin,
+                           std::size_t end, const std::string& what) {
+  if (begin >= end) fail(shard, "cannot parse " + what + " in line '" + line + "'");
+  std::uint64_t value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = line[i];
+    if (c < '0' || c > '9') fail(shard, "cannot parse " + what + " in line '" + line + "'");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Cell index from a JSONL cell line: `{"type":"cell","cell":<N>,...`.
+std::uint64_t jsonl_cell_index(std::size_t shard, const std::string& line) {
+  constexpr const char kPrefix[] = "{\"type\":\"cell\",\"cell\":";
+  constexpr std::size_t kPrefixLen = sizeof kPrefix - 1;
+  if (line.compare(0, kPrefixLen, kPrefix) != 0) {
+    fail(shard, "expected a cell line, got '" + line + "'");
+  }
+  const auto end = line.find_first_not_of("0123456789", kPrefixLen);
+  return parse_digits(shard, line, kPrefixLen, end == std::string::npos ? line.size() : end,
+                      "cell index");
+}
+
+/// Total cell count from the JSONL header's trailing `,"cells":<N>}`.
+std::uint64_t jsonl_total_cells(std::size_t shard, const std::string& header) {
+  const auto key = header.rfind(",\"cells\":");
+  if (key == std::string::npos || header.empty() || header.back() != '}') {
+    fail(shard, "header has no trailing \"cells\" count: '" + header + "'");
+  }
+  return parse_digits(shard, header, key + 9, header.size() - 1, "header cell count");
+}
+
+/// Cell index from a CSV row: third comma-separated field
+/// (schema,scenario,cell,...), RFC-4180 quote-aware because the scenario
+/// name may be quoted and contain commas.
+std::uint64_t csv_cell_index(std::size_t shard, const std::string& line) {
+  std::size_t field = 0;
+  std::size_t pos = 0;
+  while (field < 2) {
+    if (pos < line.size() && line[pos] == '"') {
+      ++pos;
+      while (pos < line.size()) {
+        if (line[pos] == '"') {
+          if (pos + 1 < line.size() && line[pos + 1] == '"') {
+            pos += 2;  // escaped quote
+            continue;
+          }
+          ++pos;
+          break;
+        }
+        ++pos;
+      }
+    } else {
+      while (pos < line.size() && line[pos] != ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ',') {
+      fail(shard, "row has fewer than 3 fields: '" + line + "'");
+    }
+    ++pos;
+    ++field;
+  }
+  auto end = line.find(',', pos);
+  if (end == std::string::npos) end = line.size();
+  return parse_digits(shard, line, pos, end, "cell index");
+}
+
+void insert_cell(std::map<std::uint64_t, std::string>& cells, std::size_t shard,
+                 std::uint64_t index, std::string line) {
+  if (!cells.emplace(index, std::move(line)).second) {
+    fail(shard, "cell " + std::to_string(index) +
+                    " already merged from another shard (overlapping shard args?)");
+  }
+}
+
+}  // namespace
+
+MergeStats merge_reports(const std::vector<std::string>& shard_reports, std::ostream& out) {
+  if (shard_reports.empty()) {
+    throw std::runtime_error("merge: no shard reports given");
+  }
+
+  MergeStats stats;
+  stats.shards = shard_reports.size();
+
+  std::string header;
+  std::map<std::uint64_t, std::string> cells;  // index -> verbatim line
+  std::uint64_t jsonl_total = 0;
+
+  for (std::size_t shard = 0; shard < shard_reports.size(); ++shard) {
+    const auto lines = split_lines(shard, shard_reports[shard]);
+    if (shard == 0) {
+      if (lines[0].compare(0, 18, "{\"type\":\"header\",\"") == 0) {
+        stats.format = "jsonl";
+      } else if (lines[0].compare(0, 16, "schema,scenario,") == 0) {
+        stats.format = "csv";
+      } else {
+        fail(shard, "unrecognized report header '" + lines[0] + "'");
+      }
+      header = lines[0];
+      if (stats.format == "jsonl") jsonl_total = jsonl_total_cells(shard, header);
+    } else if (lines[0] != header) {
+      fail(shard, "header differs from shard 1's — shards must come from the same spec "
+                  "and build (expected '" + header + "', found '" + lines[0] + "')");
+    }
+
+    if (stats.format == "jsonl") {
+      if (lines.size() < 2) fail(shard, "report has no footer (truncated?)");
+      const std::string& footer = lines.back();
+      constexpr const char kFooterPrefix[] = "{\"type\":\"footer\",\"cells_reported\":";
+      constexpr std::size_t kFooterLen = sizeof kFooterPrefix - 1;
+      if (footer.compare(0, kFooterLen, kFooterPrefix) != 0 || footer.back() != '}') {
+        fail(shard, "last line is not a footer (truncated?): '" + footer + "'");
+      }
+      const std::uint64_t reported =
+          parse_digits(shard, footer, kFooterLen, footer.size() - 1, "footer cell count");
+      const std::uint64_t cell_lines = lines.size() - 2;
+      if (reported != cell_lines) {
+        fail(shard, "footer claims " + std::to_string(reported) + " cells but " +
+                        std::to_string(cell_lines) + " cell lines are present (truncated?)");
+      }
+      for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+        insert_cell(cells, shard, jsonl_cell_index(shard, lines[i]), lines[i]);
+      }
+    } else {
+      for (std::size_t i = 1; i < lines.size(); ++i) {
+        insert_cell(cells, shard, csv_cell_index(shard, lines[i]), lines[i]);
+      }
+    }
+  }
+
+  // Completeness: exactly cells 0..total-1. For CSV (no declared total) the
+  // indices themselves must form that contiguous range.
+  const std::uint64_t total =
+      stats.format == "jsonl" ? jsonl_total : static_cast<std::uint64_t>(cells.size());
+  for (std::uint64_t expect = 0; const auto& [index, line] : cells) {
+    if (index != expect) {
+      throw std::runtime_error("merge: cell " + std::to_string(expect) +
+                               " missing from every shard (incomplete shard set?)");
+    }
+    ++expect;
+  }
+  if (cells.size() != total) {
+    throw std::runtime_error("merge: shards cover " + std::to_string(cells.size()) +
+                             " cells but the header declares " + std::to_string(total) +
+                             " (incomplete shard set?)");
+  }
+
+  out << header << '\n';
+  for (const auto& [index, line] : cells) out << line << '\n';
+  if (stats.format == "jsonl") {
+    out << "{\"type\":\"footer\",\"cells_reported\":" << total << "}\n";
+  }
+  out.flush();
+
+  stats.cells = total;
+  return stats;
+}
+
+}  // namespace faultroute::scenario

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace faultroute::scenario {
+
+/// Shard-report merging — the other half of `faultroute scenario --shard k/n`.
+///
+/// A sharded run partitions the cell grid by `cell % n == k-1`; each shard
+/// process emits an ordinary report (JSONL or CSV) containing only its own
+/// cells. `merge_reports` stitches the n shard reports back into the byte-for-
+/// byte report a single-process run of the same spec would have produced
+/// (tests/test_checkpoint.cpp pins this equality). It works on report *bytes*,
+/// not re-parsed values: cell lines pass through verbatim, so nothing can be
+/// re-rendered differently.
+///
+/// Validation is strict because a merged report claims completeness:
+///   - every shard must end in a newline (a missing one means truncation);
+///   - shard headers must be byte-identical (same spec, same build);
+///   - JSONL footers must match each shard's own cell-line count;
+///   - the union of cells must be exactly 0..cells-1 with no duplicates
+///     (for JSONL, `cells` comes from the header; for CSV, from the union).
+/// Any violation throws std::runtime_error naming the shard and the problem.
+
+struct MergeStats {
+  std::string format;   ///< "jsonl" or "csv", auto-detected from the header
+  std::uint64_t shards = 0;
+  std::uint64_t cells = 0;
+};
+
+/// Merges shard report texts into `out`. `shard_reports[i]` is the full text
+/// of shard i+1's report; order does not matter. Returns what was merged.
+MergeStats merge_reports(const std::vector<std::string>& shard_reports, std::ostream& out);
+
+}  // namespace faultroute::scenario

@@ -1,12 +1,15 @@
 #include "scenario/runner.hpp"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "graph/snapshot.hpp"
 #include "obs/run_metrics.hpp"
+#include "scenario/checkpoint.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "random/rng.hpp"
 #include "sim/registry.hpp"
@@ -46,6 +49,13 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter) {
 RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter,
                         const RunOptions& options) {
   validate_scenario(spec);
+  if (options.shard_index == 0 || options.shard_count == 0 ||
+      options.shard_index > options.shard_count) {
+    // analyze:allow-throw-safety(option validation precedes the trial loops)
+    throw std::invalid_argument("scenario shard: need 1 <= k <= n, got " +
+                                std::to_string(options.shard_index) + "/" +
+                                std::to_string(options.shard_count));
+  }
   obs::PhaseProfiler* profiler =
       options.metrics != nullptr ? &options.metrics->profiler() : nullptr;
   const obs::PhaseProfiler::Scope scenario_scope(profiler, "scenario");
@@ -78,11 +88,52 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter,
     }
   }
 
+  // Snapshot adjacencies are opened once per topology, before the parallel
+  // loop, and shared read-only by every cell of that topology (absent
+  // snapshots leave the per-cell resolve_adjacency fallback in charge).
+  std::vector<std::unique_ptr<FlatAdjacency>> snapshots(topologies.size());
+  if (!spec.snapshot_dir.empty()) {
+    for (std::size_t t = 0; t < topologies.size(); ++t) {
+      snapshots[t] =
+          open_snapshot_adjacency(spec.snapshot_dir, spec.topologies[t], *topologies[t]);
+    }
+  }
+
   const std::uint64_t cells = spec.num_cells();
   std::vector<CellResult> results(cells);
 
-  parallel_index_loop(cells, spec.threads, [&]() {
-    return [&](std::size_t index) {
+  // This process owns the cells of its shard (all of them by default).
+  const auto owned = [&options](std::uint64_t index) {
+    return index % options.shard_count == options.shard_index - 1;
+  };
+
+  // Resume: replay journaled cells into `results` verbatim and only run the
+  // rest. Cells journaled for other shards are ignored, not replayed.
+  std::optional<CheckpointJournal> journal;
+  std::vector<char> cell_done(cells, 0);
+  std::uint64_t resumed = 0;
+  if (!options.checkpoint_path.empty()) {
+    journal.emplace(options.checkpoint_path, spec);
+    for (std::uint64_t i = 0; i < cells; ++i) {
+      const auto& prior = journal->completed()[i];
+      if (!prior.has_value() || !owned(i)) continue;
+      results[i] = *prior;
+      cell_done[i] = 1;
+      ++resumed;
+    }
+  }
+  std::vector<std::uint64_t> pending;
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    if (owned(i) && cell_done[i] == 0) pending.push_back(i);
+  }
+  if (options.metrics != nullptr && resumed > 0) {
+    obs::CounterRegistry& counters = options.metrics->counters();
+    counters.add(counters.id("scenario.checkpoint.cells_resumed"), resumed);
+  }
+
+  parallel_index_loop(pending.size(), spec.threads, [&]() {
+    return [&](std::size_t slot) {
+      const std::uint64_t index = pending[slot];
       // One span per cell on the worker's own track; the engine's phase
       // scopes nest inside it ("cell-7/routing/...").
       const obs::PhaseProfiler::Scope cell_scope(profiler,
@@ -114,6 +165,7 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter,
       config.threads = 1;  // parallelism is across cells, not within one
       config.adjacency = parse_adjacency_mode(spec.adjacency);
       config.frontier = parse_frontier_mode(spec.frontier);
+      config.flat_snapshot = snapshots[coords.topology].get();
       config.metrics = options.metrics;  // counters merge across cells; the
                                          // registry shards per worker thread
       TrafficPhaseTimings timings;
@@ -157,16 +209,20 @@ RunSummary run_scenario(const ScenarioSpec& spec, Reporter& reporter,
         obs::CounterRegistry& counters = options.metrics->counters();
         counters.add(counters.id("scenario.cells"), 1);
       }
+      if (journal.has_value()) journal->record(cell);
     };
   });
 
+  // Owned cells only, ascending: a shard's report is the exact subsequence
+  // of the single-process report, which is what makes merge a pure stitch.
   RunSummary summary;
-  summary.cells = cells;
   reporter.begin(spec);
-  for (const auto& cell : results) {
-    summary.messages += cell.messages;
-    summary.delivered += cell.delivered;
-    reporter.report(cell);
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    if (!owned(i)) continue;
+    ++summary.cells;
+    summary.messages += results[i].messages;
+    summary.delivered += results[i].delivered;
+    reporter.report(results[i]);
   }
   reporter.end();
   return summary;

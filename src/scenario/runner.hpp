@@ -32,6 +32,20 @@ struct RunOptions {
   /// (JSONL only). Opt-in because wall clock is the one field class that
   /// would break the byte-identical-rerun property of reports.
   bool cell_timings = false;
+  /// When non-empty, journal every completed cell to this path and, on a
+  /// rerun against the same journal, skip cells already recorded — the
+  /// resumed run's report is byte-identical to an uninterrupted one. See
+  /// checkpoint.hpp for the format and the fingerprint that guards misuse.
+  std::string checkpoint_path;
+  /// Shard k of n (CLI `--shard k/n`): this process computes and reports
+  /// only the cells with index % shard_count == shard_index - 1, in
+  /// ascending order, under the unchanged spec-wide seeding contract.
+  /// `faultroute merge` stitches the n shard reports back into the exact
+  /// single-process report. Defaults (1/1) mean "the whole sweep". A
+  /// checkpoint journal used with sharding only records/replays the
+  /// shard's own cells, so each shard needs its own journal path.
+  unsigned shard_index = 1;
+  unsigned shard_count = 1;
 };
 
 /// Executes every cell of the scenario's cross-product and streams the

@@ -129,11 +129,13 @@ void apply_scenario_assignments(ScenarioSpec& spec, const std::string& text) {
       spec.adjacency = value;
     } else if (key == "frontier") {
       spec.frontier = value;
+    } else if (key == "snapshot_dir") {
+      spec.snapshot_dir = value;
     } else {
       throw std::invalid_argument(
           "scenario: unknown key '" + key +
           "' (known: name, topology, router, workload, p, messages, trials, seed, threads, "
-          "capacity, budget, max_steps, adjacency, frontier)");
+          "capacity, budget, max_steps, adjacency, frontier, snapshot_dir)");
     }
   }
 }

@@ -30,6 +30,7 @@ namespace faultroute::scenario {
 ///   max_steps = 0                        # delivery-step safety cap (0 = off)
 ///   adjacency = auto                     # flat | implicit | auto (CSR snapshot A/B)
 ///   frontier  = batch                    # batch | permsg (routing-phase A/B)
+///   snapshot_dir = snapshots             # mmap CSR snapshots from this dir (default off)
 struct ScenarioSpec {
   std::string name = "scenario";
   std::vector<std::string> topologies;
@@ -51,6 +52,14 @@ struct ScenarioSpec {
   /// see FrontierMode in traffic/traffic_engine.hpp). Results are
   /// bit-identical across modes; the key exists for the same A/B purposes.
   std::string frontier = "batch";
+  /// When non-empty, the runner resolves each topology's CSR adjacency from
+  /// this directory of on-disk snapshots (graph/snapshot.hpp, built with
+  /// `faultroute snapshot build`): present snapshots are mmap'd instead of
+  /// materialized, absent ones fall back to the normal build, corrupt ones
+  /// fail the run. Purely an acceleration — results and report bytes are
+  /// identical with or without it, which is why the key is absent from the
+  /// report header and from checkpoint fingerprints.
+  std::string snapshot_dir;
 
   /// Cells of the cross-product (topologies × p × routers × workloads ×
   /// trials). Cells are indexed row-major in that key order, trials fastest;

@@ -105,9 +105,16 @@ std::vector<RoutedJourney> route_and_validate(
 
   // One adjacency resolution for the whole batch: every probe, validation
   // scan, and slot resolution below goes through the same backend, so the
-  // --adjacency A/B switch compares whole routing phases.
+  // --adjacency A/B switch compares whole routing phases. An externally
+  // provided snapshot (config.flat_snapshot — e.g. an mmap view from a
+  // snapshot directory) short-circuits materialization for every mode but
+  // kImplicit, which stays a pure virtual-dispatch A/B leg.
   const FlatAdjacency* flat =
-      resolve_adjacency(graph, config.adjacency, config.flat_budget_vertices);
+      config.adjacency == AdjacencyMode::kImplicit
+          ? nullptr
+          : (config.flat_snapshot != nullptr
+                 ? config.flat_snapshot
+                 : resolve_adjacency(graph, config.adjacency, config.flat_budget_vertices));
   const AdjacencyView adj(graph, flat);
 
   // Each probe-state backend pairs with its matching cache generation so

@@ -86,6 +86,16 @@ struct TrafficConfig {
   /// kAuto's materialization budget: snapshot topologies with at most this
   /// many vertices (~20 bytes per directed channel once, cached).
   std::uint64_t flat_budget_vertices = kDefaultFlatBudgetVertices;
+  /// When non-null, the routing phase resolves flat-adjacency queries
+  /// through this externally provided snapshot — typically a memory-mapped
+  /// view opened from a snapshot directory (graph/snapshot.hpp /
+  /// open_snapshot_adjacency) — instead of materializing one via
+  /// resolve_adjacency. Honoured for every adjacency mode except kImplicit,
+  /// *including* kAuto above flat_budget_vertices: a mapped view costs no
+  /// build, so the materialization budget does not apply and huge graphs
+  /// keep the CSR fast path. Must describe the same topology (bit-identical
+  /// results are pinned by tests/test_snapshot.cpp) and outlive the run.
+  const FlatAdjacency* flat_snapshot = nullptr;
   /// Routing-phase scheduling strategy (see FrontierMode above). kBatch is
   /// a pure accelerator — outcomes are bit-identical to kPerMessage — and
   /// only engages on the flat adjacency path; implicit runs fall back to

@@ -8,7 +8,13 @@
 //   permutation batch-route random pairs and report path congestion
 //   traffic     store-and-forward congestion simulation of a workload
 //   scenario    run a declarative scenario spec (sweep cross-products) and
-//               emit schema-versioned JSON-lines or CSV
+//               emit schema-versioned JSON-lines or CSV; supports
+//               --snapshot-dir (mmap'd adjacency), --checkpoint (resume),
+//               and --shard k/n (multi-process partitioning)
+//   snapshot    build or inspect on-disk CSR adjacency snapshots
+//               (faultroute.snap.v1 — see graph/snapshot.hpp)
+//   merge       stitch sharded scenario reports into the byte-identical
+//               single-process report
 //
 // Full reference: docs/CLI.md; scenario grammar: docs/SCENARIOS.md.
 //
@@ -23,15 +29,23 @@
 //       --workload permutation --messages 4096
 //   faultroute scenario scenarios/hypercube_phase.scn
 //   faultroute scenario --spec "topology=hypercube:8; p=0.3:0.7:5; router=greedy"
+//   faultroute snapshot build --topology hypercube:12 --dir snapshots
+//   faultroute snapshot info --dir snapshots --topology hypercube:12
+//   faultroute scenario run.scn --snapshot-dir snapshots --checkpoint run.ckpt
+//   faultroute scenario run.scn --shard 1/3 --out shard1.jsonl   # (and 2/3, 3/3)
+//   faultroute merge shard1.jsonl shard2.jsonl shard3.jsonl --out full.jsonl
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/table.hpp"
 #include "core/experiment.hpp"
@@ -40,16 +54,19 @@
 #include "graph/double_tree.hpp"
 #include "graph/flat_adjacency.hpp"
 #include "graph/mesh.hpp"
+#include "graph/snapshot.hpp"
 #include "obs/run_metrics.hpp"
 #include "obs/schemas.hpp"
 #include "percolation/cluster_analysis.hpp"
 #include "percolation/edge_sampler.hpp"
 #include "percolation/threshold.hpp"
 #include "random/rng.hpp"
+#include "scenario/merge.hpp"
 #include "scenario/reporter.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 #include "sim/registry.hpp"
+#include "sim/strict_parse.hpp"
 #include "traffic/traffic_engine.hpp"
 #include "traffic/workload.hpp"
 
@@ -412,6 +429,17 @@ int cmd_traffic(const Args& args) {
   // Results identical (parse_frontier_mode throws on anything else).
   config.frontier = parse_frontier_mode(args.get("frontier", "batch"));
 
+  // --snapshot-dir DIR resolves the routing adjacency from an on-disk
+  // snapshot (`faultroute snapshot build`), mmap'd instead of materialized.
+  // Absent snapshot falls back to the normal build; a corrupt one is a hard
+  // error. Results are identical either way.
+  std::unique_ptr<FlatAdjacency> snapshot;
+  const std::string snapshot_dir = args.get("snapshot-dir", "");
+  if (!snapshot_dir.empty()) {
+    snapshot = open_snapshot_adjacency(snapshot_dir, args.require("topology"), *graph);
+    config.flat_snapshot = snapshot.get();
+  }
+
   // --metrics/--trace attach the observability sink; the event engine also
   // records the bounded per-step delivery time-series into the report
   // (--trace-samples caps its memory; the reference engine doesn't sample).
@@ -453,6 +481,7 @@ int cmd_scenario(const std::string& file, const Args& args) {
   }
   scenario::apply_scenario_assignments(spec, inline_spec);
   spec.seed = args.get_u64("seed", spec.seed);
+  spec.snapshot_dir = args.get("snapshot-dir", spec.snapshot_dir);
   const std::uint64_t threads = args.get_u64("threads", spec.threads);
   if (threads > 4096) {  // same cap as the spec grammar's `threads` key
     throw std::invalid_argument("--threads capped at 4096, got " + std::to_string(threads));
@@ -482,6 +511,27 @@ int cmd_scenario(const std::string& file, const Args& args) {
                                 cell_timings + "'");
   }
   options.cell_timings = cell_timings == "true";
+  // --checkpoint PATH: journal completed cells; a rerun against the same
+  // journal resumes and still emits the byte-identical report.
+  options.checkpoint_path = args.get("checkpoint", "");
+  // --shard k/n: compute and report only every n-th cell starting at k-1;
+  // the n reports are reassembled by `faultroute merge`.
+  const std::string shard = args.get("shard", "");
+  if (!shard.empty()) {
+    const auto slash = shard.find('/');
+    const auto k = slash == std::string::npos
+                       ? std::nullopt
+                       : sim::strict_u64(shard.substr(0, slash));
+    const auto n = slash == std::string::npos
+                       ? std::nullopt
+                       : sim::strict_u64(shard.substr(slash + 1));
+    if (!k || !n || *k == 0 || *n == 0 || *k > *n || *n > 4096) {
+      throw std::invalid_argument("--shard must be k/n with 1 <= k <= n <= 4096, got '" +
+                                  shard + "'");
+    }
+    options.shard_index = static_cast<unsigned>(*k);
+    options.shard_count = static_cast<unsigned>(*n);
+  }
 
   const auto reporter = scenario::make_reporter(format, out);
   const auto summary = scenario::run_scenario(spec, *reporter, options);
@@ -496,10 +546,98 @@ int cmd_scenario(const std::string& file, const Args& args) {
   return 0;
 }
 
+/// `faultroute snapshot build --topology SPEC --dir DIR`
+/// `faultroute snapshot info (--file PATH | --dir DIR --topology SPEC)`
+///
+/// build materializes the topology's CSR adjacency once and persists it as
+/// DIR's faultroute.snap.v1 file for that spec (rebuilding overwrites
+/// atomically). info opens and fully verifies an existing snapshot and
+/// prints the decoded header — on corruption it exits nonzero with the
+/// diagnostic naming the offending field instead.
+int cmd_snapshot(const std::string& action, const Args& args) {
+  if (action == "build") {
+    const std::string topo_spec = args.require("topology");
+    const std::string dir = args.require("dir");
+    const auto graph = sim::make_topology(topo_spec);
+    std::filesystem::create_directories(dir);
+    const std::string path = snapshot_path(dir, topo_spec);
+    write_snapshot(path, topo_spec, graph->flat_adjacency());
+    // Re-open through the verifying reader so a build that cannot be read
+    // back never reports success.
+    const SnapshotInfo info = read_snapshot_info(path);
+    Table table({"field", "value"});
+    table.add_row({"file", path});
+    table.add_row({"topology", info.topology_spec});
+    table.add_row({"vertices", Table::fmt(info.num_vertices)});
+    table.add_row({"channels", Table::fmt(static_cast<std::uint64_t>(info.num_channels))});
+    table.add_row({"payload bytes", Table::fmt(info.payload_bytes)});
+    table.print("snapshot built: " + graph->name());
+    return 0;
+  }
+  if (action == "info") {
+    std::string path = args.get("file", "");
+    if (path.empty()) path = snapshot_path(args.require("dir"), args.require("topology"));
+    const SnapshotInfo info = read_snapshot_info(path);
+    char hex[32];
+    Table table({"field", "value"});
+    table.add_row({"file", path});
+    table.add_row({"version", Table::fmt(static_cast<std::uint64_t>(info.version))});
+    table.add_row({"topology", info.topology_spec});
+    table.add_row({"provenance", info.provenance});
+    table.add_row({"vertices", Table::fmt(info.num_vertices)});
+    table.add_row({"channels", Table::fmt(static_cast<std::uint64_t>(info.num_channels))});
+    table.add_row({"edge ids", Table::fmt(static_cast<std::uint64_t>(info.num_edge_ids))});
+    table.add_row({"payload bytes", Table::fmt(info.payload_bytes)});
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(info.payload_checksum));
+    table.add_row({"payload checksum", hex});
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(info.header_checksum));
+    table.add_row({"header checksum", hex});
+    table.print("snapshot verified");
+    return 0;
+  }
+  throw std::invalid_argument("snapshot action must be 'build' or 'info', got '" + action +
+                              "'");
+}
+
+/// `faultroute merge SHARD... [--out PATH]` — stitch the reports of a
+/// sharded scenario run back into the single-process report (byte-identical;
+/// see scenario/merge.hpp for the validation rules).
+int cmd_merge(const std::vector<std::string>& inputs, const Args& args) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("merge needs at least one shard report file");
+  }
+  std::vector<std::string> reports;
+  reports.reserve(inputs.size());
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot read shard report '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    reports.push_back(buffer.str());
+  }
+
+  const std::string out_path = args.get("out", "");
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::binary);
+    if (!out_file) throw std::runtime_error("cannot write --out file '" + out_path + "'");
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  const auto stats = scenario::merge_reports(reports, out);
+  std::fprintf(stderr, "merge: %llu cells from %llu %s shards (%s)\n",
+               static_cast<unsigned long long>(stats.cells),
+               static_cast<unsigned long long>(stats.shards), stats.format.c_str(),
+               out_path.empty() ? "stdout" : out_path.c_str());
+  return 0;
+}
+
 void print_usage() {
   std::cout
-      << "usage: faultroute <route|components|threshold|trials|permutation|traffic|scenario>"
-         " [--flags]\n\n"
+      << "usage: faultroute <route|components|threshold|trials|permutation|traffic|scenario"
+         "|snapshot|merge> [--flags]\n\n"
       << "topologies:";
   for (const auto& s : sim::topology_spec_examples()) std::cout << ' ' << s;
   std::cout << "\nrouters:   ";
@@ -518,9 +656,15 @@ void print_usage() {
             << "                     also on components/threshold/permutation)\n"
             << "                   --frontier batch|permsg (batched frontier search +\n"
             << "                     distance-oracle prewarm A/B)\n"
+            << "                   --snapshot-dir DIR (mmap the CSR adjacency from an\n"
+            << "                     on-disk snapshot; also on scenario)\n"
             << "scenario:          faultroute scenario FILE.scn [--spec \"k=v; ...\"]\n"
             << "                   [--format jsonl|csv] [--out PATH] [--quick]\n"
-            << "                   [--cell-timings true|false]\n"
+            << "                   [--cell-timings true|false] [--snapshot-dir DIR]\n"
+            << "                   [--checkpoint PATH] [--shard K/N]\n"
+            << "snapshot:          faultroute snapshot build --topology SPEC --dir DIR\n"
+            << "                   faultroute snapshot info --file PATH (or --dir/--topology)\n"
+            << "merge:             faultroute merge SHARD.jsonl... [--out PATH]\n"
             << "observability:     --metrics PATH (" << obs::schemas::kMetrics << " JSON) and\n"
             << "                   --trace PATH (Chrome trace-event JSON, for\n"
             << "                   chrome://tracing / Perfetto) on every subcommand;\n"
@@ -546,6 +690,32 @@ int main(int argc, char** argv) {
         first_flag = 3;
       }
       return cmd_scenario(file, Args(argc, argv, first_flag));
+    }
+    if (command == "snapshot") {
+      // Positional action (build | info) before the --flags.
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        throw std::invalid_argument("snapshot needs an action: build or info");
+      }
+      return cmd_snapshot(argv[2], Args(argc, argv, 3));
+    }
+    if (command == "merge") {
+      // Positional shard-report files interleaved with --flags.
+      std::vector<std::string> inputs;
+      std::vector<char*> flag_argv = {argv[0], argv[1]};
+      for (int i = 2; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token.rfind("--", 0) == 0) {
+          flag_argv.push_back(argv[i]);
+          // --flag VALUE form: keep the value with its flag.
+          if (token.find('=') == std::string::npos && i + 1 < argc &&
+              std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flag_argv.push_back(argv[++i]);
+          }
+        } else {
+          inputs.push_back(token);
+        }
+      }
+      return cmd_merge(inputs, Args(static_cast<int>(flag_argv.size()), flag_argv.data(), 2));
     }
     const Args args(argc, argv, 2);
     if (command == "route") return cmd_route(args);
